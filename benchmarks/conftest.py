@@ -1,0 +1,20 @@
+"""Benchmark-suite helpers.
+
+Every benchmark target regenerates one table or figure of the paper. The
+experiments are deterministic simulations, so each runs exactly once
+(``rounds=1``) — the interesting output is the printed experiment report
+(paper expectation vs measured rows), not timing jitter statistics.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

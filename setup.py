@@ -1,0 +1,15 @@
+"""Legacy setup shim: lets `pip install -e .` work offline without wheel."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Danaus reproduction: isolation and efficiency of container I/O "
+        "at the client side of network storage (Middleware '21)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

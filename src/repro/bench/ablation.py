@@ -1,0 +1,159 @@
+"""Ablations of Danaus design decisions called out in the paper.
+
+* **client_lock** (§6.3.2, §9): the libcephfs global lock limits cached
+  sequential-read concurrency; the paper's preliminary experiments showed
+  removing it helps but requires refactoring. We implement the refactoring
+  (per-inode locks) behind ``fine_grained_locking`` and measure the gain.
+* **per-core-group IPC queues** (§3.5): Danaus keeps one request queue per
+  L2 core pair so communicating threads share a cache and don't contend on
+  one queue. We compare against a single shared queue.
+"""
+
+from repro.bench.harness import Experiment
+from repro.bench.util import run_all
+from repro.common import units
+from repro.stacks import StackFactory
+from repro.workloads import Seqread, Seqwrite
+from repro.world import World
+
+__all__ = ["ClientLockAblation", "IpcQueueAblation", "CacheDedupAblation"]
+
+
+def _seqread_with(fine_grained, duration=3.0, threads=6, pool_cores=8, seed=1):
+    world = World(num_cores=pool_cores, ram_bytes=units.gib(64))
+    world.activate_cores(pool_cores)
+    pool = world.engine.create_pool(
+        "pool", num_cores=pool_cores, ram_bytes=units.gib(32)
+    )
+    factory = StackFactory(
+        world, pool, "D", fine_grained_locking=fine_grained,
+        cache_bytes=units.gib(1),
+    )
+    mount = factory.mount_root("c0")
+    workload = Seqread(
+        mount.fs, pool, duration=duration, threads=threads,
+        file_size=units.mib(4), iosize=units.mib(1), seed=seed,
+    )
+    run_all(world, [workload.start()], budget=duration * 200)
+    lock = mount.client.client_lock
+    return {
+        "locking": "fine-grained" if fine_grained else "client_lock",
+        "throughput_mb_s": workload.result.bytes_read / duration / units.MIB,
+        "client_lock_wait_s": lock.stats.total_wait,
+    }
+
+
+class ClientLockAblation(Experiment):
+    experiment_id = "abl-lock"
+    title = "Cached Seqread with the global client_lock vs per-inode locks"
+    paper_expectation = (
+        "§6.3.2: the client_lock limits D's cached-read concurrency; "
+        "removing it improves concurrency (the paper's future work)."
+    )
+
+    def run(self):
+        result = self.new_result()
+        for fine_grained in (False, True):
+            result.add_row(**_seqread_with(fine_grained, **self.params))
+        coarse = result.value("throughput_mb_s", locking="client_lock")
+        fine = result.value("throughput_mb_s", locking="fine-grained")
+        result.note(
+            "fine-grained locking speedup: %.2fx"
+            % (fine / coarse if coarse else 0)
+        )
+        return result
+
+
+def _seqwrite_with(single_queue, duration=2.0, threads=4, pool_cores=8, seed=1):
+    world = World(num_cores=pool_cores, ram_bytes=units.gib(64))
+    world.activate_cores(pool_cores)
+    pool = world.engine.create_pool(
+        "pool", num_cores=pool_cores, ram_bytes=units.gib(32)
+    )
+    factory = StackFactory(
+        world, pool, "D", single_queue=single_queue,
+        cache_bytes=units.mib(64),
+    )
+    mount = factory.mount_root("c0")
+    workload = Seqwrite(
+        mount.fs, pool, duration=duration, threads=threads,
+        file_size=units.mib(8), iosize=units.mib(1), seed=seed,
+    )
+    run_all(world, [workload.start()], budget=duration * 200)
+    return {
+        "queues": "single" if single_queue else "per-core-group",
+        "nr_queues": len(mount.service.ipc.queues),
+        "throughput_mb_s": workload.result.bytes_written / duration / units.MIB,
+        "threads_pinned": mount.service.metrics.counter("threads_pinned").value,
+    }
+
+
+def _dedup_memory(dedup, n_containers=4, content_bytes=units.mib(2), seed=1):
+    """Memory to cache N byte-identical container roots, with/without
+    block-level dedup (§9 future work, Slacker-style)."""
+    from repro.bench.util import seed_tree
+    from repro.cephclient import CephLibClient
+    from repro.common.rng import make_rng
+
+    world = World(num_cores=4, ram_bytes=units.gib(64))
+    world.activate_cores(4)
+    # Independent containers: each holds a FULL private copy of the same
+    # image payload (no union — the dedup must come from the cache).
+    payload = make_rng(seed, "dedup-image").randbytes(content_bytes)
+    files = {
+        "/pools/p/c%d/rootfs.bin" % index: payload
+        for index in range(n_containers)
+    }
+    seed_tree(world, files, "/")
+    pool = world.engine.create_pool("p", num_cores=2, ram_bytes=units.gib(8))
+    client = CephLibClient(
+        world.sim, world.cluster, world.costs, pool.ram, pool.cores,
+        name="dedup-client", cache_dedup=dedup,
+    )
+    task = pool.new_task()
+
+    def read_all():
+        for index in range(n_containers):
+            yield from client.read_file(task, "/pools/p/c%d/rootfs.bin" % index)
+
+    run_all(world, [world.sim.spawn(read_all(), name="reader")], budget=5000)
+    return {
+        "dedup": "on" if dedup else "off",
+        "containers": n_containers,
+        "cache_mb": client.cache.cached_bytes / units.MIB,
+        "saved_mb": client.cache.dedup_saved_bytes / units.MIB,
+    }
+
+
+class CacheDedupAblation(Experiment):
+    experiment_id = "abl-dedup"
+    title = "Client-cache memory for N identical container roots"
+    paper_expectation = (
+        "§9: block-level dedup in the client cache should collapse the "
+        "memory of identical independent containers to ~one copy "
+        "(Slacker does this in the kernel client)."
+    )
+
+    def run(self):
+        result = self.new_result()
+        for dedup in (False, True):
+            result.add_row(**_dedup_memory(dedup, **self.params))
+        off = result.value("cache_mb", dedup="off")
+        on = result.value("cache_mb", dedup="on")
+        result.note("cache memory reduction: %.1fx" % (off / on if on else 0))
+        return result
+
+
+class IpcQueueAblation(Experiment):
+    experiment_id = "abl-ipc"
+    title = "Danaus IPC: per-core-group request queues vs one shared queue"
+    paper_expectation = (
+        "§3.5: per-group queues keep requests within an L2 pair and avoid "
+        "a single contended queue."
+    )
+
+    def run(self):
+        result = self.new_result()
+        for single_queue in (True, False):
+            result.add_row(**_seqwrite_with(single_queue, **self.params))
+        return result

@@ -1,0 +1,97 @@
+"""ASCII charts for experiment reports.
+
+The paper communicates through bar charts (throughput per configuration)
+and line charts (utilisation); the CLI approximates them in plain text so
+``python -m repro run fig6a`` shows the shape at a glance, without any
+plotting dependency.
+"""
+
+__all__ = ["bar_chart", "grouped_bar_chart", "spark"]
+
+#: Eighth-block characters for sub-cell resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value, peak, width):
+    """Render one bar of ``width`` cells scaled so ``peak`` fills it."""
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    remainder = cells - full
+    out = "█" * full
+    eighth = int(remainder * 8)
+    if eighth:
+        out += _BLOCKS[eighth]
+    return out
+
+
+def bar_chart(rows, label_key, value_key, width=40, fmt="%.4g"):
+    """A horizontal bar chart; ``rows`` are dicts.
+
+    Returns the chart as a string::
+
+        K    ████████████████████████████████████████ 22171
+        D    █████████████                            7243
+    """
+    if not rows:
+        return "(no data)"
+    labels = [str(row[label_key]) for row in rows]
+    values = [float(row[value_key]) for row in rows]
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        lines.append(
+            "%-*s  %-*s %s"
+            % (label_width, label, width, _bar(value, peak, width),
+               fmt % value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows, group_key, label_key, value_key, width=40,
+                      fmt="%.4g"):
+    """Bar chart with group separators (e.g. per pool count)."""
+    if not rows:
+        return "(no data)"
+    groups = []
+    for row in rows:
+        group = row[group_key]
+        if not groups or groups[-1][0] != group:
+            groups.append((group, []))
+        groups[-1][1].append(row)
+    peak = max(float(row[value_key]) for row in rows)
+    label_width = max(len(str(row[label_key])) for row in rows)
+    lines = []
+    for group, members in groups:
+        lines.append("%s = %s" % (group_key, group))
+        for row in members:
+            value = float(row[value_key])
+            lines.append(
+                "  %-*s  %-*s %s"
+                % (label_width, row[label_key], width,
+                   _bar(value, peak, width), fmt % value)
+            )
+    return "\n".join(lines)
+
+
+def spark(values, width=None):
+    """A one-line sparkline of a numeric series."""
+    if not values:
+        return ""
+    if width is not None and len(values) > width:
+        # Downsample by taking evenly spaced points.
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    marks = "▁▂▃▄▅▆▇█"
+    if span <= 0:
+        return marks[0] * len(values)
+    return "".join(
+        marks[min(int((v - lo) / span * (len(marks) - 1) + 0.5),
+                  len(marks) - 1)]
+        for v in values
+    )

@@ -1,0 +1,52 @@
+"""Table 2: the workload symbol registry.
+
+Maps the paper's workload symbols to their descriptions and the classes
+implementing them, so experiment definitions and reports share one
+vocabulary.
+"""
+
+from repro.workloads import (
+    Fileappend,
+    Fileread,
+    Fileserver,
+    RandomIO,
+    Seqread,
+    Seqwrite,
+    SysbenchCpu,
+    Webserver,
+)
+
+__all__ = ["WORKLOADS", "describe", "workload_class"]
+
+#: symbol -> (description from Table 2, implementing class or None)
+WORKLOADS = {
+    "FLS": ("Fileserver (Filebench) on Ceph", Fileserver),
+    "RND": ("Random I/O with readahead (Stress-ng) on ext4/RAID0", RandomIO),
+    "SSB": ("CPU benchmark (Sysbench)", SysbenchCpu),
+    "WBS": ("Webserver (Filebench) on ext4/RAID0", Webserver),
+    "SEQW": ("Filebench Singlestreamwrite on Ceph", Seqwrite),
+    "SEQR": ("Filebench Singlestreamread on Ceph", Seqread),
+    "FAPP": ("Fileappend: O_APPEND 1MB to a shared 2GB file", Fileappend),
+    "FRD": ("Fileread: sequential read of a shared 2GB file", Fileread),
+}
+
+#: composite symbols of Table 2 (X+Y colocations), for documentation
+COMPOSITES = {
+    "1FLS/D": "1x Fileserver on user-level Danaus/Ceph cluster",
+    "7FLS/D": "7x Fileserver on user-level Danaus/Ceph cluster",
+    "1FLS/K": "1x Fileserver on kernel CephFS/Ceph cluster",
+    "7FLS/K": "7x Fileserver on kernel CephFS/Ceph cluster",
+    "X+Y": "X next to Y, X=(1|7)FLS/(D|K), Y=(RND|SSB|WBS)",
+}
+
+
+def describe(symbol):
+    """The Table-2 description of a workload symbol."""
+    if symbol in WORKLOADS:
+        return WORKLOADS[symbol][0]
+    return COMPOSITES[symbol]
+
+
+def workload_class(symbol):
+    """The class implementing a primitive workload symbol."""
+    return WORKLOADS[symbol][1]

@@ -1,0 +1,96 @@
+"""Sequential I/O scaleup: Fig. 11 (Fileappend, Fileread).
+
+N cloned containers in a single pool, each unioning a private upper
+branch over a shared read-only lower branch that holds one large file;
+all clones run concurrently and the *timespan* until all finish plus the
+*maximum memory* are reported.
+
+* Fileappend (Fig. 11a): the O_APPEND write forces a whole-file copy-up,
+  so I/O is ~50/50 read/write. D's timespan beats K/K by up to 46% at 32
+  containers; memory grows linearly for K/K, F/F and D, while FP/FP's
+  page-cache-on-top-of-user-cache roughly doubles it.
+* Fileread (Fig. 11b): pure shared reads. K/K is 1.2-4.9x faster than D
+  (client_lock serialisation) but burns far more CPU; F/F needs the same
+  memory as D with 11-23% longer timespan; FP/FP is faster than D but
+  occupies up to 30x more memory.
+"""
+
+from repro.bench.harness import Experiment
+from repro.bench.util import run_all, scaled_costs, seed_tree
+from repro.common import units
+from repro.common.rng import pseudo_bytes
+from repro.stacks import StackFactory
+from repro.workloads import Fileappend, Fileread
+from repro.world import World
+
+__all__ = ["FileScaleup", "run_file_scaleup"]
+
+IMAGE_PATH = "/images/shared"
+SHARED_FILE = "/shared.bin"
+#: Scaled size of the paper's 2 GB shared file.
+SHARED_SIZE = units.mib(8)
+
+
+def run_file_scaleup(symbol, n_clones, mode, pool_cores=8, seed=1):
+    world = World(
+        num_cores=pool_cores, ram_bytes=units.gib(512), costs=scaled_costs(),
+    )
+    world.activate_cores(pool_cores)
+    seed_tree(
+        world,
+        {SHARED_FILE: pseudo_bytes(SHARED_SIZE, (seed, "shared"))},
+        IMAGE_PATH,
+    )
+    pool = world.engine.create_pool(
+        "scaleup", num_cores=pool_cores, ram_bytes=units.gib(200)
+    )
+    factory = StackFactory(world, pool, symbol)
+    workloads = []
+    for index in range(n_clones):
+        mount = factory.mount_root("c%d" % index, image_path=IMAGE_PATH)
+        cls = Fileappend if mode == "append" else Fileread
+        workloads.append(
+            cls(mount.fs, pool, path=SHARED_FILE, seed=seed + index)
+        )
+    start = world.sim.now
+    run_all(world, [w.start() for w in workloads], budget=100000)
+    timespan = world.sim.now - start
+    return {
+        "symbol": symbol,
+        "clones": n_clones,
+        "mode": mode,
+        "timespan_s": timespan,
+        "max_memory_mb": pool.ram.high_water / units.MIB,
+    }
+
+
+class FileScaleup(Experiment):
+    experiment_id = "fig11a"
+    title = "Fileappend timespan and max memory, N clones in one pool"
+    paper_expectation = (
+        "append: D shortest timespan (up to 46% under K/K at 32); memory "
+        "linear for D/F/F/K/K, ~2x for FP/FP. read: K/K 1.2-4.9x faster "
+        "than D; F/F same memory as D, 11-23% slower; FP/FP up to 30x "
+        "more memory."
+    )
+
+    def __init__(self, symbols=("D", "K/K", "F/F", "FP/FP"),
+                 clone_counts=(2, 8), mode="append", **params):
+        super().__init__(**params)
+        self.symbols = symbols
+        self.clone_counts = clone_counts
+        self.mode = mode
+        if mode == "read":
+            self.experiment_id = "fig11b"
+            self.title = (
+                "Fileread timespan and max memory, N clones in one pool"
+            )
+
+    def run(self):
+        result = self.new_result()
+        for count in self.clone_counts:
+            for symbol in self.symbols:
+                result.add_row(
+                    **run_file_scaleup(symbol, count, self.mode, **self.params)
+                )
+        return result

@@ -1,0 +1,101 @@
+"""Extension experiment: serverless tenants next to a noisy neighbour.
+
+Not a paper figure — it operationalises §9's "per-tenant storage
+provisioning for serverless function computations": N function tenants
+run over Danaus (D) or the kernel client (K) while a RandomIO neighbour
+occupies its own pool. The prediction, extrapolated from Fig. 6: Danaus
+keeps the invocation tail flat under colocation; the kernel-shared path
+lets the neighbour into every tenant's p99.
+"""
+
+from repro.bench.harness import Experiment
+from repro.bench.util import scaled_costs
+from repro.common import units
+from repro.stacks import StackFactory, mount_local
+from repro.workloads import RandomIO
+from repro.workloads.serverless import ServerlessTenant
+from repro.world import World
+
+__all__ = ["ServerlessColocation", "run_serverless"]
+
+
+def run_serverless(symbol, n_tenants=2, with_neighbor=True, duration=4.0,
+                   seed=1):
+    world = World(
+        num_cores=2 * (n_tenants + 1), ram_bytes=units.gib(128),
+        costs=scaled_costs(),
+    )
+    world.activate_cores(2 * (n_tenants + 1))
+    tenants = []
+    for index in range(n_tenants):
+        pool = world.engine.create_pool(
+            "fn%d" % index, num_cores=2, ram_bytes=units.mib(64)
+        )
+        world.kernel.writeback.set_max_dirty(pool.ram, units.mib(8))
+        mount = StackFactory(world, pool, symbol).mount_root("c0")
+        # Result objects are sized so the tenants generate real writeback
+        # traffic — the contended path of Fig. 6 — not just metadata ops.
+        tenants.append(ServerlessTenant(
+            mount, pool, duration=duration, seed=seed + index,
+            state_size=units.kib(192), compute_cpu=0.0002,
+        ))
+    neighbor_pool = world.engine.create_pool(
+        "nbr", num_cores=2, ram_bytes=units.mib(64)
+    )
+    world.kernel.writeback.set_max_dirty(neighbor_pool.ram, units.mib(8))
+    processes = [tenant.start() for tenant in tenants]
+    if with_neighbor:
+        local = mount_local(world, neighbor_pool, num_disks=4)
+        neighbor = RandomIO(
+            local.fs, neighbor_pool, duration=duration, threads=2,
+            file_size=units.mib(96), seed=seed + 99,
+            batch_cpu=units.usec(600),
+        )
+        processes.append(neighbor.start())
+    from repro.bench.util import run_all
+
+    run_all(world, processes, budget=duration * 100)
+    warm_p99 = max(t.warm_latency.p99 for t in tenants)
+    cold_p99 = max(
+        (t.cold_latency.p99 for t in tenants if t.cold_latency.count),
+        default=0.0,
+    )
+    invocations = sum(t.result.ops for t in tenants)
+    return {
+        "symbol": symbol,
+        "tenants": n_tenants,
+        "neighbor": "RND" if with_neighbor else "-",
+        "invocations_per_sec": invocations / duration,
+        "warm_p99_ms": warm_p99 * 1000.0,
+        "cold_p99_ms": cold_p99 * 1000.0,
+    }
+
+
+class ServerlessColocation(Experiment):
+    experiment_id = "ext-serverless"
+    title = "Serverless tenants: invocation tail under a noisy neighbour"
+    paper_expectation = (
+        "Extension of §9: per-tenant Danaus clients should keep the "
+        "invocation p99 flat under colocation, like Fig. 6's throughput."
+    )
+
+    def __init__(self, symbols=("K", "D"), n_tenants=2, **params):
+        super().__init__(**params)
+        self.symbols = symbols
+        self.n_tenants = n_tenants
+
+    def run(self):
+        result = self.new_result()
+        for symbol in self.symbols:
+            for with_neighbor in (False, True):
+                result.add_row(**run_serverless(
+                    symbol, self.n_tenants, with_neighbor, **self.params
+                ))
+        for symbol in self.symbols:
+            alone = result.value("warm_p99_ms", symbol=symbol, neighbor="-")
+            coloc = result.value("warm_p99_ms", symbol=symbol, neighbor="RND")
+            result.note(
+                "%s: warm p99 grows %.2fx under the neighbour"
+                % (symbol, coloc / alone if alone else 0)
+            )
+        return result

@@ -1,0 +1,84 @@
+"""Container startup experiment: Fig. 8 (Lighttpd scaleup).
+
+N cloned Lighttpd containers start concurrently inside a single pool over
+a shared client (D, K/K, F/K, F/F). Startup traffic is read-intensive and
+kernel-initiated (exec + mmap), so it runs on the *legacy* path of Danaus
+— the configuration where the mature kernel stack is expected to win:
+
+* K/K fastest (up to 8.8x over D), F/K second (2.9x over D);
+* D beats F/F by 2.3-14.2x, explained by 9-39x fewer context switches
+  (Fig. 8b) — D crosses FUSE once per legacy op, F/F twice per branch op.
+"""
+
+from repro.bench.harness import Experiment
+from repro.bench.util import run_all, seed_image
+from repro.common import units
+from repro.containers import Container, lighttpd_image
+from repro.stacks import StackFactory
+from repro.workloads import LighttpdFleet
+from repro.world import World
+
+__all__ = ["LighttpdStartup", "run_startup"]
+
+IMAGE_PATH = "/images/lighttpd"
+
+
+def run_startup(symbol, n_containers, pool_cores=8, image_scale=1.0 / 8192,
+                seed=1):
+    world = World(num_cores=pool_cores, ram_bytes=units.gib(512))
+    world.activate_cores(pool_cores)
+    image = lighttpd_image(scale=image_scale, seed=seed)
+    seed_image(world, image, IMAGE_PATH)
+    pool = world.engine.create_pool(
+        "fleet", num_cores=pool_cores, ram_bytes=units.gib(200)
+    )
+    factory = StackFactory(world, pool, symbol)
+    containers = []
+    mounts = []
+    for index in range(n_containers):
+        mount = factory.mount_root("c%d" % index, image_path=IMAGE_PATH)
+        mounts.append(mount)
+        containers.append(Container(pool, "c%d" % index, mount))
+    fleet = LighttpdFleet(containers, image)
+    run_all(world, [world.sim.spawn(fleet.run(), name="fleet")], budget=200000)
+    ctx = sum(mount.ctx_switches() for mount in mounts)
+    return {
+        "symbol": symbol,
+        "containers": n_containers,
+        "real_time_s": fleet.real_time,
+        "ctx_switches": ctx,
+    }
+
+
+class LighttpdStartup(Experiment):
+    experiment_id = "fig8"
+    title = "Real time to start N cloned Lighttpd containers"
+    paper_expectation = (
+        "K/K fastest (D up to 8.8x slower), F/K second (D 2.9x slower); "
+        "D beats F/F by 2.3-14.2x with 9-39x fewer context switches."
+    )
+
+    def __init__(self, symbols=("D", "K/K", "F/K", "F/F"),
+                 container_counts=(1, 8), **params):
+        super().__init__(**params)
+        self.symbols = symbols
+        self.container_counts = container_counts
+
+    def run(self):
+        result = self.new_result()
+        for count in self.container_counts:
+            for symbol in self.symbols:
+                result.add_row(**run_startup(symbol, count, **self.params))
+        for count in self.container_counts:
+            d_time = result.value("real_time_s", symbol="D", containers=count)
+            for other in self.symbols:
+                if other == "D":
+                    continue
+                other_time = result.value(
+                    "real_time_s", symbol=other, containers=count
+                )
+                result.note(
+                    "%d containers: D/%s time ratio = %.2fx"
+                    % (count, other, d_time / other_time if other_time else 0)
+                )
+        return result

@@ -1,0 +1,489 @@
+"""The user-level Ceph client: the libcephfs analogue Danaus builds on.
+
+One instance serves one mount (Danaus runs one or more per tenant). The
+client keeps everything at user level: the object cache, the attribute
+cache, the write-behind buffers and the flusher thread, which is pinned to
+the *pool's* cores — flushing never steals neighbour cores, which is the
+isolation half of the paper's story.
+
+The efficiency caveat is modelled faithfully too: by default every
+client-side critical section serialises on one global ``client_lock``
+(ceph tracker #23844), which limits cached-read concurrency — the paper's
+explanation for Danaus losing to the kernel client on cached sequential
+reads (Fig. 9 bottom). ``fine_grained_locking=True`` switches to per-inode
+locks, the refactoring the paper proposes as future work; the ablation
+benchmark measures exactly this switch.
+"""
+
+from repro.cephclient.cache import ObjectCache
+from repro.common.errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+)
+from repro.fs import pathutil
+from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags
+from repro.metrics import MetricSet
+from repro.sim.cpu import SimThread
+from repro.sim.sync import Mutex
+
+__all__ = ["CephLibClient"]
+
+#: Sentinel for cached negative lookups (the dentry cache caches ENOENT
+#: too — without it every union whiteout probe would be an MDS round
+#: trip). Negatives are invalidated by local creates/renames; remote
+#: creates become visible through open()'s revalidation, matching the
+#: close-to-open consistency of §3.4.
+_NEGATIVE = object()
+
+
+class _CephHandle(FileHandle):
+    __slots__ = ("ino",)
+
+    def __init__(self, fs, path, flags, ino):
+        super().__init__(fs, path, flags)
+        self.ino = ino
+
+
+class CephLibClient(Filesystem):
+    """libcephfs-like user-level client over the simulated cluster."""
+
+    def __init__(
+        self,
+        sim,
+        cluster,
+        costs,
+        account,
+        cpuset,
+        name="libceph",
+        cache_bytes=None,
+        fine_grained_locking=False,
+        readahead_bytes=128 * 1024,
+        start_flusher=True,
+        consistency="close-to-open",
+        cache_dedup=False,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.costs = costs
+        self.account = account
+        self.name = name
+        if cache_bytes is None:
+            cache_bytes = max(account.capacity // 2, costs.object_size)
+        fingerprint_fn = self._block_fingerprint if cache_dedup else None
+        self.cache = ObjectCache(
+            cache_bytes, account, dedup=cache_dedup,
+            fingerprint_fn=fingerprint_fn,
+        )
+        self.max_dirty = cache_bytes // 2
+        self.fine_grained = fine_grained_locking
+        self.readahead_bytes = readahead_bytes
+        self.client_lock = Mutex(sim, name="%s.client_lock" % name)
+        self._ino_locks = {}  # fine-grained mode: ino -> Mutex
+        self.attr_cache = {}  # path -> InodeInfo (sizes kept current locally)
+        self._sizes = {}  # ino -> local authoritative size
+        self._paths = {}  # ino -> path (for size flush to the MDS)
+        self._dirty_since = {}  # ino -> first dirty time
+        self._seq_end = {}  # ino -> end offset of last read (readahead)
+        self._flush_waiters = []
+        self.metrics = MetricSet(name)
+        # The ObjectCacher writes back *asynchronously*: many OSD writes in
+        # flight at once, not one serial stream. We model that with a small
+        # pool of flusher threads — pinned to the pool's cores, matching
+        # the kernel's flusher count so the comparison is about placement
+        # and locking, not writeback parallelism.
+        self.flusher_thread = SimThread(sim, "%s.flusher" % name, cpuset)
+        self.flusher_threads = [self.flusher_thread] + [
+            SimThread(sim, "%s.flusher%d" % (name, index), cpuset)
+            for index in range(1, 4)
+        ]
+        self._stopped = False
+        if consistency not in ("close-to-open", "caps"):
+            raise InvalidArgument("unknown consistency %r" % consistency)
+        self.consistency = consistency
+        self.client_id = (
+            cluster.register_client(self) if consistency == "caps" else None
+        )
+        if start_flusher:
+            sim.spawn(self._flusher_loop(), name="%s.flusher" % name)
+
+    # -- locking ---------------------------------------------------------
+
+    def _lock(self, ino):
+        if not self.fine_grained:
+            return self.client_lock
+        lock = self._ino_locks.get(ino)
+        if lock is None:
+            lock = self._ino_locks[ino] = Mutex(
+                self.sim, name="%s.ino%d" % (self.name, ino)
+            )
+        return lock
+
+    def _locked_cpu(self, task, ino, cpu_seconds):
+        """Run CPU work under the client lock (the serialisation point)."""
+        lock = self._lock(ino)
+        yield lock.acquire(who=task)
+        try:
+            yield from task.cpu(cpu_seconds)
+        finally:
+            lock.release()
+
+    # -- attribute handling ------------------------------------------------
+
+    def _remember(self, path, info):
+        self.attr_cache[path] = info
+        self._paths[info.ino] = path
+        if info.ino not in self._sizes or not self._has_dirty(info.ino):
+            self._sizes[info.ino] = info.size
+
+    def _has_dirty(self, ino):
+        buffer = self.cache._dirty.get(ino)
+        return buffer is not None and bool(buffer)
+
+    def _local_size(self, ino, fallback=0):
+        return self._sizes.get(ino, fallback)
+
+    # -- Filesystem interface ---------------------------------------------------
+
+    def open(self, task, path, flags=OpenFlags.RDONLY, mode=0o644):
+        path = pathutil.normalize(path)
+        yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
+        info = None
+        if not flags & OpenFlags.CREAT:
+            # Close-to-open consistency: revalidate attributes at the MDS.
+            try:
+                info = yield from self.cluster.mds_call("lookup", path)
+            except FileNotFound:
+                self.attr_cache[path] = _NEGATIVE
+                raise
+        else:
+            try:
+                info = yield from self.cluster.mds_call(
+                    "create", path, bool(flags & OpenFlags.EXCL), mode
+                )
+            except FileExists:
+                raise
+        if info.is_dir and flags.wants_write:
+            raise IsADirectory(path=path)
+        self._remember(path, info)
+        if self.consistency == "caps" and not info.is_dir:
+            from repro.storage.caps import CAP_READ_CACHE, CAP_WRITE_BUFFER
+
+            want = CAP_READ_CACHE
+            if flags.wants_write:
+                want |= CAP_WRITE_BUFFER
+            yield from self.cluster.acquire_caps(self.client_id, info.ino, want)
+            # Holding fresh caps means our attribute view is authoritative;
+            # any prior writer flushed during the revocation, so refetch.
+            info = yield from self.cluster.mds_call("lookup", path)
+            self._remember(path, info)
+            self._sizes[info.ino] = max(
+                info.size,
+                self._sizes.get(info.ino, 0) if self._has_dirty(info.ino) else 0,
+            )
+        if flags & OpenFlags.TRUNC and not info.is_dir:
+            yield from self._truncate_ino(task, info.ino, path, 0)
+        self.metrics.counter("opens").add(1)
+        return _CephHandle(self, path, flags, info.ino)
+
+    def handle_cap_revoke(self, ino, caps):
+        """MDS revocation callback: flush and/or invalidate, then ack.
+
+        Sim generator run by the cluster while a conflicting open waits.
+        """
+        from repro.fs.api import Task
+        from repro.storage.caps import CAP_READ_CACHE, CAP_WRITE_BUFFER
+
+        revoke_task = Task(self.flusher_thread, pool=None)
+        if caps & CAP_WRITE_BUFFER and self._has_dirty(ino):
+            yield from self._flush_ino(revoke_task, ino)
+        if caps & CAP_READ_CACHE:
+            # Drop cached data and attributes so the next access refetches.
+            self.cache.drop_ino(ino)
+            path = self._paths.get(ino)
+            if path is not None:
+                self.attr_cache.pop(path, None)
+            self._seq_end.pop(ino, None)
+        self.metrics.counter("caps_revoked").add(1)
+
+    def close(self, task, handle):
+        yield from task.cpu(self.costs.ceph_client_op / 2)
+        handle.closed = True
+
+    def read(self, task, handle, offset, size):
+        ino = self._live_ino(handle)
+        lock = self._lock(ino)
+        yield lock.acquire(who=task)
+        try:
+            yield from task.cpu(self.costs.ceph_client_op)
+            file_size = max(
+                self._local_size(ino),
+                self.cache.dirty_buffer(ino).max_end() if self._has_dirty(ino) else 0,
+            )
+            if offset >= file_size or size <= 0:
+                return b""
+            size = min(size, file_size - offset)
+            hit_blocks, miss_ranges = self.cache.scan(ino, offset, size)
+            if hit_blocks:
+                yield from task.cpu(self.costs.page_op * hit_blocks)
+        finally:
+            lock.release()
+        sequential = offset == self._seq_end.get(ino, 0)
+        for miss_offset, miss_size in miss_ranges:
+            fetch = miss_size
+            if self.readahead_bytes and sequential:
+                fetch = max(miss_size, self.readahead_bytes)
+            fetch = min(fetch, max(file_size - miss_offset, miss_size))
+            # Network fetch happens outside the client lock (the lock is
+            # dropped while waiting on the OSDs, as in libcephfs).
+            yield from self.cluster.read_extent(ino, miss_offset, fetch)
+            yield from task.cpu(self.costs.payload_cost(fetch))
+            yield lock.acquire(who=task)
+            try:
+                self.cache.insert(ino, miss_offset, fetch)
+            finally:
+                lock.release()
+        # Assemble and copy out *under the lock*: this serialisation is the
+        # client_lock bottleneck the paper identifies for cached reads.
+        yield lock.acquire(who=task)
+        try:
+            base = self.cluster_peek(ino, offset, size)
+            data = self.cache.overlay(ino, offset, size, base)
+            if len(data) > size:
+                data = data[:size]
+            yield from task.cpu(self.costs.copy_cost(len(data)))
+        finally:
+            lock.release()
+        self._seq_end[ino] = offset + len(data)
+        self.metrics.counter("bytes_read").add(len(data))
+        return data
+
+    def cluster_peek(self, ino, offset, size):
+        """Resident-byte assembly; see :meth:`CephCluster.peek`."""
+        return self.cluster.peek(ino, offset, size)
+
+    def _block_fingerprint(self, ino, offset):
+        """Content digest of one cache block (for dedup mode).
+
+        Zero-cost by design: a block being inserted was just fetched, so
+        its bytes are authoritative in the object store already. Blocks of
+        files with unflushed writes are *not* fingerprinted — their
+        content is still in flight, so deduplicating them would alias
+        unknown data.
+        """
+        import hashlib
+
+        if self._has_dirty(ino):
+            return None
+        data = self.cluster.peek(ino, offset, self.cache.block_size)
+        return hashlib.blake2b(data, digest_size=16).digest()
+
+    def write(self, task, handle, offset, data):
+        ino = self._live_ino(handle)
+        if handle.flags & OpenFlags.APPEND:
+            offset = self._local_size(ino)
+        lock = self._lock(ino)
+        yield lock.acquire(who=task)
+        try:
+            yield from task.cpu(
+                self.costs.ceph_client_op + self.costs.copy_cost(len(data))
+            )
+            self.cache.write(ino, offset, data)
+            new_size = max(self._local_size(ino), offset + len(data))
+            self._sizes[ino] = new_size
+            self._dirty_since.setdefault(ino, self.sim.now)
+        finally:
+            lock.release()
+        self.metrics.counter("bytes_written").add(len(data))
+        # User-level dirty throttling: wait for the (pool-core) flusher.
+        while self.cache.dirty_bytes > self.max_dirty:
+            progress = self.sim.event()
+            self._flush_waiters.append(progress)
+            yield self.sim.any_of(
+                [progress, self.sim.timeout(self.costs.writeback_interval)]
+            )
+            self.metrics.counter("throttle_waits").add(1)
+        return len(data)
+
+    def fsync(self, task, handle):
+        ino = self._live_ino(handle)
+        yield from self._flush_ino(task, ino)
+
+    def stat(self, task, path):
+        path = pathutil.normalize(path)
+        yield from task.cpu(self.costs.ceph_client_op / 2)
+        info = self.attr_cache.get(path)
+        if info is _NEGATIVE:
+            raise FileNotFound(path=path)
+        if info is None:
+            try:
+                info = yield from self.cluster.mds_call("lookup", path)
+            except FileNotFound:
+                self.attr_cache[path] = _NEGATIVE
+                raise
+            self._remember(path, info)
+        size = self._local_size(info.ino, info.size)
+        return FileStat(info.ino, info.is_dir, size, info.mtime, info.nlink)
+
+    def mkdir(self, task, path, mode=0o755):
+        yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
+        info = yield from self.cluster.mds_call("mkdir", path, mode)
+        self._remember(pathutil.normalize(path), info)
+
+    def rmdir(self, task, path):
+        yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
+        yield from self.cluster.mds_call("rmdir", path)
+        self.attr_cache[pathutil.normalize(path)] = _NEGATIVE
+
+    def unlink(self, task, path):
+        path = pathutil.normalize(path)
+        yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
+        ino, _size = yield from self.cluster.mds_call("unlink", path)
+        self.cluster.purge(ino)
+        self.cache.drop_ino(ino)
+        self.attr_cache[path] = _NEGATIVE
+        self._sizes.pop(ino, None)
+        self._paths.pop(ino, None)
+        self._dirty_since.pop(ino, None)
+        self.metrics.counter("unlinks").add(1)
+
+    def readdir(self, task, path):
+        yield from task.cpu(self.costs.ceph_client_op)
+        names = yield from self.cluster.mds_call("readdir", path)
+        yield from task.cpu(self.costs.dirent_op * max(len(names), 1))
+        return names
+
+    def rename(self, task, old_path, new_path):
+        old_path = pathutil.normalize(old_path)
+        new_path = pathutil.normalize(new_path)
+        yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
+        yield from self.cluster.mds_call("rename", old_path, new_path)
+        info = self.attr_cache.get(old_path)
+        self.attr_cache[old_path] = _NEGATIVE
+        if info is not None and info is not _NEGATIVE:
+            self._remember(new_path, info)
+            self._paths[info.ino] = new_path
+
+    def truncate(self, task, path, size):
+        path = pathutil.normalize(path)
+        info = self.attr_cache.get(path)
+        if info is None or info is _NEGATIVE:
+            info = yield from self.cluster.mds_call("lookup", path)
+            self._remember(path, info)
+        yield from self._truncate_ino(task, info.ino, path, size)
+
+    def _truncate_ino(self, task, ino, path, size):
+        yield from self._locked_cpu(task, ino, self.costs.ceph_client_op)
+        # Buffered data beyond the cut is discarded; data below survives.
+        self.cache.truncate_dirty(ino, size)
+        yield from self.cluster.truncate(ino, size)
+        self._sizes[ino] = size
+        try:
+            info = yield from self.cluster.mds_call("setattr_size", path, size)
+        except FileNotFound:
+            return  # concurrently unlinked; the open handle stays usable
+        self._remember(path, info)
+
+    def peek(self, path, offset, size):
+        """Zero-cost resident-data read (see Filesystem.peek)."""
+        info = self.attr_cache.get(pathutil.normalize(path))
+        if info is None or info is _NEGATIVE or info.is_dir:
+            return None
+        ino = info.ino
+        file_size = max(
+            self._local_size(ino, info.size),
+            self.cache.dirty_buffer(ino).max_end() if self._has_dirty(ino) else 0,
+        )
+        if offset >= file_size:
+            return b""
+        size = min(size, file_size - offset)
+        base = self.cluster.peek(ino, offset, size)
+        return self.cache.overlay(ino, offset, size, base)[:size]
+
+    # -- flushing -----------------------------------------------------------------
+
+    def _flush_ino(self, task, ino, max_bytes=None):
+        """Flush dirty extents of ``ino`` on the caller's thread."""
+        extents = self.cache.take_dirty(ino, max_bytes)
+        if not extents:
+            return 0
+        flushed = 0
+        for offset, data in extents:
+            yield from task.cpu(self.costs.payload_cost(len(data)))
+            yield from self.cluster.write_extent(ino, offset, data)
+            flushed += len(data)
+        path = self._paths.get(ino)
+        if path is not None:
+            try:
+                info = yield from self.cluster.mds_call(
+                    "setattr_size", path, self._local_size(ino)
+                )
+                self._remember(path, info)
+            except FileNotFound:
+                pass  # concurrently unlinked
+        if not self._has_dirty(ino):
+            self._dirty_since.pop(ino, None)
+        self.metrics.counter("bytes_flushed").add(flushed)
+        self.sim.trace("client", "flush", client=self.name, bytes=flushed)
+        self._notify_flush_progress()
+        return flushed
+
+    def _notify_flush_progress(self):
+        waiters, self._flush_waiters = self._flush_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def flush_all(self, task):
+        """Flush every dirty file (used by shutdown and tests)."""
+        total = 0
+        for ino in list(self.cache.dirty_inos()):
+            total += yield from self._flush_ino(task, ino)
+        return total
+
+    def _flusher_loop(self):
+        """Background write-back pinned to the pool's cores.
+
+        Eligible files are flushed *concurrently* across the flusher
+        thread pool — the asynchronous in-flight writes of the
+        ObjectCacher — so the drain rate scales with the backend, not
+        with one thread's round-trip latency.
+        """
+        from repro.fs.api import Task
+
+        flusher_tasks = [Task(thread) for thread in self.flusher_threads]
+        while not self._stopped:
+            yield self.sim.timeout(self.costs.writeback_interval)
+            if self._stopped:
+                return
+            background = self.cache.dirty_bytes > self.max_dirty // 2
+            jobs = []
+            for slot, ino in enumerate(list(self.cache.dirty_inos())):
+                since = self._dirty_since.get(ino, self.sim.now)
+                expired = self.sim.now - since >= self.costs.expire_interval
+                if background or expired:
+                    flusher_task = flusher_tasks[slot % len(flusher_tasks)]
+                    jobs.append(self.sim.spawn(
+                        task_flush(self, flusher_task, ino),
+                        name="%s.flush" % self.name,
+                    ))
+            if jobs:
+                yield self.sim.all_of(jobs)
+
+    def stop(self):
+        self._stopped = True
+
+    # -- internals -------------------------------------------------------------------
+
+    def _live_ino(self, handle):
+        if handle.closed:
+            raise BadFileDescriptor(path=handle.path)
+        if not isinstance(handle, _CephHandle):
+            raise InvalidArgument("foreign handle %r" % (handle,))
+        return handle.ino
+
+
+def task_flush(client, task, ino):
+    """Module-level flush helper (kept separate for ablation hooks)."""
+    yield from client._flush_ino(task, ino, max_bytes=client.costs.flush_batch)

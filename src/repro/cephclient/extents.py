@@ -1,0 +1,140 @@
+"""Dirty extent buffers: real bytes waiting to be flushed.
+
+Both Ceph client personalities buffer written data before pushing it to
+the OSDs (write-behind). The buffer is the *only* place where file bytes
+exist outside the authoritative stores, which is exactly what makes the
+consistency semantics of §3.4 observable: another client reading through
+the cluster sees the data only after a flush.
+"""
+
+import bisect
+
+from repro.common.errors import InvalidArgument
+
+__all__ = ["ExtentBuffer"]
+
+
+class ExtentBuffer(object):
+    """Non-overlapping sorted byte extents of one file."""
+
+    def __init__(self):
+        self._offsets = []  # sorted extent start offsets
+        self._data = {}  # start offset -> bytearray
+        self.dirty_bytes = 0
+
+    def __bool__(self):
+        return bool(self._offsets)
+
+    def write(self, offset, data):
+        """Insert ``data`` at ``offset``, merging overlapping extents."""
+        if offset < 0:
+            raise InvalidArgument("negative offset")
+        if not data:
+            return
+        start, end = offset, offset + len(data)
+        merged = bytearray(data)
+        # Find all existing extents overlapping or adjacent to [start, end).
+        index = bisect.bisect_left(self._offsets, start)
+        if index > 0:
+            prev_start = self._offsets[index - 1]
+            if prev_start + len(self._data[prev_start]) >= start:
+                index -= 1
+        absorbed = []
+        while index < len(self._offsets):
+            ext_start = self._offsets[index]
+            if ext_start > end:
+                break
+            absorbed.append(ext_start)
+            index += 1
+        if absorbed:
+            new_start = min(start, absorbed[0])
+            last = absorbed[-1]
+            new_end = max(end, last + len(self._data[last]))
+            combined = bytearray(new_end - new_start)
+            for ext_start in absorbed:
+                ext = self._data.pop(ext_start)
+                self.dirty_bytes -= len(ext)
+                combined[ext_start - new_start:ext_start - new_start + len(ext)] = ext
+                position = bisect.bisect_left(self._offsets, ext_start)
+                del self._offsets[position]
+            combined[start - new_start:end - new_start] = merged
+            start, merged = new_start, combined
+        bisect.insort(self._offsets, start)
+        self._data[start] = merged
+        self.dirty_bytes += len(merged)
+
+    def overlay(self, offset, size, base):
+        """Apply buffered extents over ``base`` (bytes read at ``offset``).
+
+        Returns bytes of length up to max(len(base), highest buffered byte
+        within the window) — buffered data may extend past the base.
+        """
+        end = offset + size
+        result = bytearray(base)
+        for ext_start in self._offsets:
+            ext = self._data[ext_start]
+            ext_end = ext_start + len(ext)
+            if ext_end <= offset or ext_start >= end:
+                continue
+            lo = max(ext_start, offset)
+            hi = min(ext_end, end)
+            if hi - offset > len(result):
+                result.extend(b"\x00" * (hi - offset - len(result)))
+            result[lo - offset:hi - offset] = ext[lo - ext_start:hi - ext_start]
+        return bytes(result)
+
+    def take(self, max_bytes=None):
+        """Remove and return up to ``max_bytes`` of extents, oldest offset
+        first, as ``[(offset, bytes)]`` (whole extents; at least one)."""
+        taken = []
+        budget = max_bytes if max_bytes is not None else float("inf")
+        while self._offsets and (budget > 0 or not taken):
+            start = self._offsets[0]
+            ext = self._data[start]
+            if len(ext) > budget and taken:
+                break
+            del self._offsets[0]
+            del self._data[start]
+            self.dirty_bytes -= len(ext)
+            budget -= len(ext)
+            taken.append((start, bytes(ext)))
+        return taken
+
+    def extents(self):
+        """Snapshot of ``(offset, bytes)`` pairs without consuming them."""
+        return [(start, bytes(self._data[start])) for start in self._offsets]
+
+    def clear(self):
+        self._offsets = []
+        self._data = {}
+        self.dirty_bytes = 0
+
+    def truncate(self, size):
+        """Drop buffered bytes at or beyond ``size``; returns bytes freed.
+
+        Buffered data *below* the cut survives — truncating a file must
+        not lose its remaining unflushed contents.
+        """
+        freed = 0
+        kept_offsets = []
+        for start in self._offsets:
+            ext = self._data[start]
+            if start >= size:
+                freed += len(ext)
+                del self._data[start]
+                continue
+            if start + len(ext) > size:
+                keep = size - start
+                freed += len(ext) - keep
+                self._data[start] = ext[:keep]
+            kept_offsets.append(start)
+        self._offsets = kept_offsets
+        self.dirty_bytes -= freed
+        return freed
+
+    def max_end(self):
+        """One past the highest buffered byte (0 when empty)."""
+        if not self._offsets:
+            return 0
+        last = self._offsets[-1]
+        return last + len(self._data[last])

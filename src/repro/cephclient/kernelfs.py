@@ -1,0 +1,394 @@
+"""The kernel CephFS client personality.
+
+Protocol-wise identical to the user-level client — the same MDS calls, the
+same object striping — but executed through the *shared kernel* machinery:
+
+* data caching in the host page cache (global LRU, global dirty accounting,
+  cgroup charging);
+* dirty flushing by the kernel writeback daemon, whose flusher threads run
+  on any activated core of the host (core stealing);
+* ``i_mutex_key`` / ``i_mutex_dir_key`` / superblock / global locks around
+  the same sections a real kernel filesystem serialises.
+
+This is the "mature kernel-based client" (configuration **K**) that wins
+cached reads and collapses under colocation in the paper.
+"""
+
+from repro.cephclient.extents import ExtentBuffer
+from repro.common.errors import (
+    BadFileDescriptor,
+    InvalidArgument,
+    IsADirectory,
+)
+from repro.fs import pathutil
+from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags
+from repro.metrics import MetricSet
+
+__all__ = ["CephKernelFs"]
+
+#: Cached negative dentry (the kernel dentry cache caches ENOENT too).
+_NEGATIVE = object()
+
+
+class _KernelCephHandle(FileHandle):
+    __slots__ = ("ino",)
+
+    def __init__(self, fs, path, flags, ino):
+        super().__init__(fs, path, flags)
+        self.ino = ino
+
+
+class CephKernelFs(Filesystem):
+    """Kernel-based CephFS mount: shared page cache, kernel writeback."""
+
+    _next_fs_id = [1]
+
+    def __init__(self, kernel, cluster, name="cephfs", readahead_bytes=128 * 1024,
+                 direct_io=False):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.costs = kernel.costs
+        self.cluster = cluster
+        self.name = name
+        self.readahead_bytes = readahead_bytes
+        self.direct_io = direct_io
+        self.fs_id = CephKernelFs._next_fs_id[0]
+        CephKernelFs._next_fs_id[0] += 1
+        self.attr_cache = {}  # path -> InodeInfo
+        self._sizes = {}  # ino -> local size view
+        self._paths = {}  # ino -> path for size flush
+        self._pending = {}  # ino -> ExtentBuffer of unflushed bytes
+        self.metrics = MetricSet(name)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _cache_key(self, ino):
+        return ("cephk", self.fs_id, ino)
+
+    def _cached_file(self, ino):
+        def flush_fn(nbytes, _pages):
+            yield from self._flush_bytes(ino, nbytes)
+
+        return self.kernel.page_cache.file(self._cache_key(ino), flush_fn)
+
+    def _flush_bytes(self, ino, nbytes):
+        """Push up to ``nbytes`` of pending extents to the cluster."""
+        buffer = self._pending.get(ino)
+        if buffer is None or not buffer:
+            return
+        for offset, data in buffer.take(nbytes):
+            # Messenger send processing happens in host-wide kworkers.
+            yield from self.kernel.workqueue.execute(
+                len(data) / self.costs.kernel_wq_bandwidth
+            )
+            yield from self.cluster.write_extent(ino, offset, data)
+        path = self._paths.get(ino)
+        if path is not None:
+            from repro.common.errors import FileNotFound
+
+            try:
+                yield from self.cluster.mds_call(
+                    "setattr_size", path, self._sizes.get(ino, 0)
+                )
+            except FileNotFound:
+                pass
+
+    def _account(self, task):
+        if task.pool is not None:
+            return task.pool.ram
+        return self.kernel.machine.ram
+
+    def _inode_lock(self, ino):
+        return self.kernel.locks.get("i_mutex_key", (self.fs_id, ino))
+
+    def _dir_lock(self, path):
+        return self.kernel.locks.get("i_mutex_dir_key", (self.fs_id, path))
+
+    def _sb_lock(self):
+        return self.kernel.locks.get("sb_lock", ("cephk", self.fs_id))
+
+    def _remember(self, path, info):
+        self.attr_cache[path] = info
+        self._paths[info.ino] = path
+        pending = self._pending.get(info.ino)
+        if pending is None or not pending:
+            self._sizes[info.ino] = info.size
+
+    def _local_size(self, ino, fallback=0):
+        return self._sizes.get(ino, fallback)
+
+    # -- Filesystem interface ---------------------------------------------------
+
+    def open(self, task, path, flags=OpenFlags.RDONLY, mode=0o644):
+        path = pathutil.normalize(path)
+        yield from task.cpu(self.costs.fs_op)
+        if flags & OpenFlags.CREAT:
+            yield from self.kernel.locks.locked_section(
+                task, self._dir_lock(pathutil.parent_of(path)),
+                self.costs.kernel_lock_section,
+            )
+            yield from self.kernel.locks.locked_section(
+                task, self._sb_lock(), self.costs.kernel_lock_section
+            )
+            yield from self.kernel.locks.locked_section(
+                task, self.kernel.locks.get("inode_hash_lock"),
+                self.costs.kernel_lock_section / 2,
+            )
+            info = yield from self.cluster.mds_call(
+                "create", path, bool(flags & OpenFlags.EXCL), mode
+            )
+        else:
+            from repro.common.errors import FileNotFound
+
+            try:
+                info = yield from self.cluster.mds_call("lookup", path)
+            except FileNotFound:
+                self.attr_cache[path] = _NEGATIVE
+                raise
+        if info.is_dir and flags.wants_write:
+            raise IsADirectory(path=path)
+        self._remember(path, info)
+        if flags & OpenFlags.TRUNC and not info.is_dir:
+            yield from self._truncate_ino(task, info.ino, path, 0)
+        self.metrics.counter("opens").add(1)
+        return _KernelCephHandle(self, path, flags, info.ino)
+
+    def close(self, task, handle):
+        yield from task.cpu(self.costs.fs_op / 2)
+        handle.closed = True
+
+    def read(self, task, handle, offset, size):
+        ino = self._live_ino(handle)
+        yield from task.cpu(self.costs.fs_op)
+        pending = self._pending.get(ino)
+        file_size = max(
+            self._local_size(ino), pending.max_end() if pending else 0
+        )
+        if offset >= file_size or size <= 0:
+            return b""
+        size = min(size, file_size - offset)
+        if self.direct_io:
+            data = yield from self.cluster.read_extent(ino, offset, size)
+            base = data if len(data) >= size else self.cluster.peek(ino, offset, size)
+            out = pending.overlay(offset, size, base) if pending else bytes(base)
+            self.metrics.counter("bytes_read").add(len(out))
+            return out[:size]
+        cf = self._cached_file(ino)
+        hit_pages, miss_ranges = self.kernel.page_cache.scan(cf, offset, size)
+        if hit_pages:
+            yield from task.cpu(self.costs.page_op * hit_pages)
+        account = self._account(task)
+        sequential = offset == cf.read_sequential_end
+        for miss_offset, miss_size in miss_ranges:
+            fetch = miss_size
+            if self.readahead_bytes and sequential:
+                fetch = max(miss_size, self.readahead_bytes)
+            fetch = min(fetch, max(file_size - miss_offset, miss_size))
+            yield from self.cluster.read_extent(ino, miss_offset, fetch)
+            # Messenger receive processing in kworkers. Sequential reads
+            # pipeline through readahead and overlap DMA; random reads pay
+            # the full per-request completion path (see CostModel).
+            read_bw = (
+                self.costs.kernel_wq_read_bandwidth if sequential
+                else self.costs.kernel_wq_rand_read_bandwidth
+            )
+            yield from self.kernel.workqueue.execute(fetch / read_bw)
+            self.kernel.page_cache.insert(cf, miss_offset, fetch, account)
+            yield from task.cpu(
+                self.costs.page_op * self.costs.pages_of(miss_offset, fetch)
+            )
+        cf.read_sequential_end = offset + size
+        base = self.cluster.peek(ino, offset, size)
+        data = pending.overlay(offset, size, base) if pending else base
+        self.metrics.counter("bytes_read").add(size)
+        return data[:size]
+
+    def write(self, task, handle, offset, data):
+        ino = self._live_ino(handle)
+        if handle.flags & OpenFlags.APPEND:
+            offset = self._local_size(ino)
+        yield from task.cpu(self.costs.fs_op)
+        if self.direct_io:
+            from repro.common.errors import FileNotFound
+
+            yield from self.cluster.write_extent(ino, offset, data)
+            new_size = max(self._local_size(ino), offset + len(data))
+            self._sizes[ino] = new_size
+            path = self._paths.get(ino)
+            if path is not None:
+                try:
+                    yield from self.cluster.mds_call(
+                        "setattr_size", path, new_size
+                    )
+                except FileNotFound:
+                    pass  # concurrently unlinked
+            self.metrics.counter("bytes_written").add(len(data))
+            return len(data)
+        cf = self._cached_file(ino)
+        account = self._account(task)
+        pages = self.costs.pages_of(offset, len(data))
+        inode_lock = self._inode_lock(ino)
+        yield inode_lock.acquire(who=task)
+        try:
+            yield from task.cpu(
+                self.costs.kernel_lock_section + self.costs.page_op * pages
+            )
+            buffer = self._pending.get(ino)
+            if buffer is None:
+                buffer = self._pending[ino] = ExtentBuffer()
+            buffer.write(offset, data)
+            self._sizes[ino] = max(self._local_size(ino), offset + len(data))
+            self.kernel.page_cache.mark_dirty(
+                cf, offset, len(data), self.sim.now, account
+            )
+        finally:
+            inode_lock.release()
+        # Page allocation touches the host-global LRU lock (see LocalFs).
+        yield from self.kernel.locks.locked_section(
+            task, self.kernel.locks.get("lru_lock"),
+            self.costs.kernel_lock_section / 4,
+        )
+        self.metrics.counter("bytes_written").add(len(data))
+        yield from self.kernel.writeback.balance_dirty_pages(task, account)
+        return len(data)
+
+    def fsync(self, task, handle):
+        ino = self._live_ino(handle)
+        yield from task.cpu(self.costs.fs_op)
+        cf = self.kernel.page_cache.peek(self._cache_key(ino))
+        if cf is not None:
+            yield from self.kernel.writeback.fsync(task, cf)
+        # Anything the page bookkeeping missed still drains here.
+        yield from self._flush_bytes(ino, None)
+
+    def stat(self, task, path):
+        from repro.common.errors import FileNotFound
+
+        path = pathutil.normalize(path)
+        yield from task.cpu(self.costs.fs_op / 2)
+        info = self.attr_cache.get(path)
+        if info is _NEGATIVE:
+            raise FileNotFound(path=path)
+        if info is None:
+            try:
+                info = yield from self.cluster.mds_call("lookup", path)
+            except FileNotFound:
+                self.attr_cache[path] = _NEGATIVE
+                raise
+            self._remember(path, info)
+        size = self._local_size(info.ino, info.size)
+        return FileStat(info.ino, info.is_dir, size, info.mtime, info.nlink)
+
+    def mkdir(self, task, path, mode=0o755):
+        yield from task.cpu(self.costs.fs_op)
+        yield from self.kernel.locks.locked_section(
+            task, self._dir_lock(pathutil.parent_of(path)),
+            self.costs.kernel_lock_section,
+        )
+        info = yield from self.cluster.mds_call("mkdir", path, mode)
+        self._remember(pathutil.normalize(path), info)
+
+    def rmdir(self, task, path):
+        yield from task.cpu(self.costs.fs_op)
+        yield from self.kernel.locks.locked_section(
+            task, self._dir_lock(pathutil.parent_of(path)),
+            self.costs.kernel_lock_section,
+        )
+        yield from self.cluster.mds_call("rmdir", path)
+        self.attr_cache[pathutil.normalize(path)] = _NEGATIVE
+
+    def unlink(self, task, path):
+        path = pathutil.normalize(path)
+        yield from task.cpu(self.costs.fs_op)
+        yield from self.kernel.locks.locked_section(
+            task, self._dir_lock(pathutil.parent_of(path)),
+            self.costs.kernel_lock_section,
+        )
+        yield from self.kernel.locks.locked_section(
+            task, self.kernel.locks.get("inode_hash_lock"),
+            self.costs.kernel_lock_section / 2,
+        )
+        ino, _size = yield from self.cluster.mds_call("unlink", path)
+        self.cluster.purge(ino)
+        self.kernel.page_cache.drop_file(self._cache_key(ino))
+        self._pending.pop(ino, None)
+        self.attr_cache[path] = _NEGATIVE
+        self._sizes.pop(ino, None)
+        self._paths.pop(ino, None)
+        self.metrics.counter("unlinks").add(1)
+
+    def readdir(self, task, path):
+        yield from task.cpu(self.costs.fs_op)
+        yield from self.kernel.locks.locked_section(
+            task, self._dir_lock(pathutil.normalize(path)),
+            self.costs.kernel_lock_section / 2,
+        )
+        names = yield from self.cluster.mds_call("readdir", path)
+        yield from task.cpu(self.costs.dirent_op * max(len(names), 1))
+        return names
+
+    def rename(self, task, old_path, new_path):
+        old_path = pathutil.normalize(old_path)
+        new_path = pathutil.normalize(new_path)
+        yield from task.cpu(self.costs.fs_op)
+        yield from self.kernel.locks.locked_section(
+            task, self._dir_lock(pathutil.parent_of(old_path)),
+            self.costs.kernel_lock_section,
+        )
+        yield from self.cluster.mds_call("rename", old_path, new_path)
+        info = self.attr_cache.get(old_path)
+        self.attr_cache[old_path] = _NEGATIVE
+        if info is not None and info is not _NEGATIVE:
+            self._remember(new_path, info)
+
+    def truncate(self, task, path, size):
+        path = pathutil.normalize(path)
+        info = self.attr_cache.get(path)
+        if info is None or info is _NEGATIVE:
+            info = yield from self.cluster.mds_call("lookup", path)
+            self._remember(path, info)
+        yield from self._truncate_ino(task, info.ino, path, size)
+
+    def _truncate_ino(self, task, ino, path, size):
+        from repro.common.errors import FileNotFound
+
+        yield from self.kernel.locks.locked_section(
+            task, self._inode_lock(ino), self.costs.kernel_lock_section
+        )
+        pending = self._pending.get(ino)
+        if pending is not None:
+            # Keep unflushed bytes below the cut; drop the rest.
+            pending.truncate(size)
+        yield from self.cluster.truncate(ino, size)
+        self._sizes[ino] = size
+        if size == 0:
+            self.kernel.page_cache.drop_file(self._cache_key(ino))
+        try:
+            info = yield from self.cluster.mds_call("setattr_size", path, size)
+        except FileNotFound:
+            return  # concurrently unlinked; the open handle stays usable
+        self._remember(path, info)
+
+    def peek(self, path, offset, size):
+        """Zero-cost resident-data read (see Filesystem.peek)."""
+        info = self.attr_cache.get(pathutil.normalize(path))
+        if info is None or info is _NEGATIVE or info.is_dir:
+            return None
+        ino = info.ino
+        pending = self._pending.get(ino)
+        file_size = max(
+            self._local_size(ino, info.size), pending.max_end() if pending else 0
+        )
+        if offset >= file_size:
+            return b""
+        size = min(size, file_size - offset)
+        base = self.cluster.peek(ino, offset, size)
+        out = pending.overlay(offset, size, base) if pending else base
+        return out[:size]
+
+    def _live_ino(self, handle):
+        if handle.closed:
+            raise BadFileDescriptor(path=handle.path)
+        if not isinstance(handle, _KernelCephHandle):
+            raise InvalidArgument("foreign handle %r" % (handle,))
+        return handle.ino

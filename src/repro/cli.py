@@ -1,0 +1,197 @@
+"""Command-line interface: run experiments and inspect the registry.
+
+Usage::
+
+    python -m repro list                 # experiments, stacks, workloads
+    python -m repro run fig6a            # regenerate one figure
+    python -m repro run fig6a --quick    # reduced sweep for a fast look
+    python -m repro run all              # everything (tens of minutes)
+
+Each run prints the experiment's report block: the paper's expectation
+followed by the measured rows.
+"""
+
+import argparse
+import sys
+import time
+
+__all__ = ["main", "experiment_names"]
+
+
+def _experiments():
+    from repro.bench import (
+        ClientLockAblation,
+        FileScaleup,
+        FileserverScaleout,
+        FlsColocation,
+        IpcQueueAblation,
+        LighttpdStartup,
+        RocksDbScaleout,
+        RocksDbScaleup,
+        SequentialScaleout,
+    )
+
+    def fig1(quick):
+        exp = FlsColocation(
+            symbols=("K",), fls_counts=(1,) if quick else (1, 3),
+            neighbor="RND", duration=3.0 if quick else 4.0,
+        )
+        exp.experiment_id = "fig1"
+        exp.title = "Motivation: kernel core and lock contention"
+        return exp
+
+    def fig6a(quick):
+        return FlsColocation(
+            symbols=("K", "D"), fls_counts=(1,) if quick else (1, 3),
+            neighbor="RND", duration=3.0 if quick else 4.0,
+        )
+
+    def fig6b(quick):
+        exp = FlsColocation(
+            symbols=("K", "D"), fls_counts=(1,) if quick else (1, 3),
+            neighbor="WBS", duration=3.0 if quick else 4.0,
+        )
+        exp.experiment_id = "fig6b"
+        exp.title = "Fileserver colocated with Webserver (D vs K)"
+        return exp
+
+    def fig6c(quick):
+        exp = FlsColocation(
+            symbols=("K", "D"), fls_counts=(1,), neighbor="SSB",
+            duration=3.0 if quick else 4.0,
+        )
+        exp.experiment_id = "fig6c"
+        exp.title = "Sysbench p99 and Fileserver latency under colocation"
+        return exp
+
+    return {
+        "fig1": fig1,
+        "fig6a": fig6a,
+        "fig6b": fig6b,
+        "fig6c": fig6c,
+        "fig7a": lambda quick: RocksDbScaleout(
+            mode="put", pool_counts=(1, 2) if quick else (1, 4)),
+        "fig7b": lambda quick: RocksDbScaleout(
+            mode="get", pool_counts=(1, 2) if quick else (1, 4)),
+        "fig7c": lambda quick: RocksDbScaleup(
+            mode="put", clone_counts=(2,) if quick else (2, 6)),
+        "fig7d": lambda quick: RocksDbScaleup(
+            mode="get", clone_counts=(2,) if quick else (2, 6),
+            symbols=("D", "F/F", "K/K")),
+        "fig8": lambda quick: LighttpdStartup(
+            container_counts=(1, 4) if quick else (1, 8)),
+        "fig9w": lambda quick: SequentialScaleout(
+            mode="write", pool_counts=(1,) if quick else (1, 4)),
+        "fig9r": lambda quick: SequentialScaleout(
+            mode="read", pool_counts=(1,) if quick else (1, 4)),
+        "fig10": lambda quick: FileserverScaleout(
+            pool_counts=(1,) if quick else (1, 4)),
+        "fig11a": lambda quick: FileScaleup(
+            mode="append", clone_counts=(2,) if quick else (2, 8)),
+        "fig11b": lambda quick: FileScaleup(
+            mode="read", clone_counts=(2,) if quick else (2, 8)),
+        "abl-lock": lambda quick: ClientLockAblation(),
+        "abl-ipc": lambda quick: IpcQueueAblation(),
+    }
+
+
+def experiment_names():
+    """The experiment ids the CLI can run."""
+    return sorted(_experiments())
+
+
+def cmd_list(_args):
+    from repro.bench import COMPOSITES, WORKLOADS
+    from repro.stacks import SYMBOLS
+
+    print("experiments:")
+    for name in sorted(_experiments()):
+        print("  %s" % name)
+    print()
+    print("stacks (Table 1): %s" % ", ".join(SYMBOLS))
+    print()
+    print("workloads (Table 2):")
+    for symbol in sorted(WORKLOADS):
+        print("  %-6s %s" % (symbol, WORKLOADS[symbol][0]))
+    for symbol in sorted(COMPOSITES):
+        print("  %-6s %s" % (symbol, COMPOSITES[symbol]))
+    return 0
+
+
+def cmd_run(args):
+    registry = _experiments()
+    names = sorted(registry) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown),
+              file=sys.stderr)
+        print("try: python -m repro list", file=sys.stderr)
+        return 2
+    for name in names:
+        experiment = registry[name](args.quick)
+        started = time.time()
+        result = experiment.run()
+        print(result.report())
+        chart = _chart_for(result)
+        if chart:
+            print(chart)
+        print("(%.0fs wall-clock)" % (time.time() - started))
+        print()
+    return 0
+
+
+def _chart_for(result):
+    """A bar chart of the result's primary metric, when one is obvious."""
+    from repro.bench.charts import bar_chart
+
+    if not result.rows:
+        return None
+    first = result.rows[0]
+    label_key = next(
+        (key for key in ("symbol", "locking", "queues", "dedup")
+         if key in first), None,
+    )
+    value_key = next(
+        (key for key, value in first.items()
+         if isinstance(value, float) and key != label_key), None,
+    )
+    if label_key is None or value_key is None:
+        return None
+    labels = [
+        "%s%s" % (row[label_key],
+                  "".join(" %s=%s" % (k, row[k]) for k in row
+                          if k not in (label_key, value_key)
+                          and not isinstance(row[k], float)))
+        for row in result.rows
+    ]
+    rows = [
+        {"label": label, "value": row[value_key]}
+        for label, row in zip(labels, result.rows)
+    ]
+    return "%s:\n%s" % (value_key, bar_chart(rows, "label", "value"))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Danaus reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments, stacks and workloads")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig6a")
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep for a fast look",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    parser.error("unknown command")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

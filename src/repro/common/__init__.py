@@ -1,0 +1,5 @@
+"""Shared utilities: errors, units and deterministic randomness."""
+
+from repro.common import errors, rng, units
+
+__all__ = ["errors", "rng", "units"]

@@ -1,0 +1,119 @@
+"""Exception hierarchy shared across the Danaus reproduction.
+
+Filesystem errors mirror POSIX errno semantics so that every layer (local
+filesystem, Ceph-like client, union filesystem, Danaus library) raises the
+same exception types and callers can handle them uniformly.
+"""
+
+import errno
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration was supplied."""
+
+
+class FsError(ReproError):
+    """A filesystem operation failed with a POSIX-style errno.
+
+    Attributes:
+        errno: numeric errno value (e.g. ``errno.ENOENT``).
+        path: the path involved, when known.
+    """
+
+    default_errno = errno.EIO
+
+    def __init__(self, message="", path=None, eno=None):
+        self.errno = eno if eno is not None else self.default_errno
+        self.path = path
+        detail = message or errno.errorcode.get(self.errno, "EIO")
+        if path is not None:
+            detail = "%s: %s" % (detail, path)
+        super().__init__(detail)
+
+
+class FileNotFound(FsError):
+    """ENOENT: the file or directory does not exist."""
+
+    default_errno = errno.ENOENT
+
+
+class FileExists(FsError):
+    """EEXIST: the file already exists."""
+
+    default_errno = errno.EEXIST
+
+
+class NotADirectory(FsError):
+    """ENOTDIR: a path component is not a directory."""
+
+    default_errno = errno.ENOTDIR
+
+
+class IsADirectory(FsError):
+    """EISDIR: the operation does not apply to directories."""
+
+    default_errno = errno.EISDIR
+
+
+class DirectoryNotEmpty(FsError):
+    """ENOTEMPTY: rmdir on a non-empty directory."""
+
+    default_errno = errno.ENOTEMPTY
+
+
+class PermissionDenied(FsError):
+    """EACCES: access mode forbids the operation (e.g. read-only branch)."""
+
+    default_errno = errno.EACCES
+
+
+class ReadOnlyFilesystem(FsError):
+    """EROFS: write attempted on a read-only filesystem or branch."""
+
+    default_errno = errno.EROFS
+
+
+class BadFileDescriptor(FsError):
+    """EBADF: unknown or closed file descriptor."""
+
+    default_errno = errno.EBADF
+
+
+class InvalidArgument(FsError):
+    """EINVAL: malformed argument (offset, whence, flags)."""
+
+    default_errno = errno.EINVAL
+
+
+class NoSpace(FsError):
+    """ENOSPC: the backing store is full."""
+
+    default_errno = errno.ENOSPC
+
+
+class NotMounted(FsError):
+    """ENODEV: no filesystem is mounted at the path."""
+
+    default_errno = errno.ENODEV
+
+
+class CrossDevice(FsError):
+    """EXDEV: rename across filesystems or branches."""
+
+    default_errno = errno.EXDEV
+
+
+class ServiceFailed(ReproError):
+    """A Danaus filesystem service crashed and cannot serve requests."""
+
+
+class OutOfMemory(ReproError):
+    """A cgroup memory limit was exceeded (simulated OOM)."""

@@ -1,0 +1,27 @@
+"""Containers: pools, images, registry, engine."""
+
+from repro.containers.engine import ContainerEngine
+from repro.containers.images import Image, Registry, debian_base, lighttpd_image
+from repro.containers.pool import Container, ContainerPool
+
+__all__ = [
+    "ContainerEngine",
+    "Image",
+    "Registry",
+    "debian_base",
+    "lighttpd_image",
+    "Container",
+    "ContainerPool",
+    "MigrationReport",
+    "migrate_container",
+]
+
+
+def __getattr__(name):
+    # migration imports stacks (which imports containers); resolve lazily
+    # to keep the package import graph acyclic.
+    if name in ("MigrationReport", "migrate_container"):
+        from repro.containers import migration
+
+        return getattr(migration, name)
+    raise AttributeError(name)

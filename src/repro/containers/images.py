@@ -1,0 +1,140 @@
+"""Container images: layered file archives plus a registry.
+
+An image is a read-only stack of layers, each a mapping of paths to file
+contents (§2.2). The registry materialises images onto a filesystem —
+either into a shared read-only directory that cloned containers union
+over, or copied wholesale into a private root for independent containers.
+
+``debian_base`` builds a synthetic image shaped like the paper's 2.7 GB
+Debian root: a few binaries, shared libraries and config trees. Sizes are
+scaled (the scale factor is recorded) so simulations stay laptop-sized;
+every experiment's EXPERIMENTS.md entry notes the scaling.
+"""
+
+from repro.common import units
+from repro.common.rng import pseudo_bytes
+from repro.fs import pathutil
+
+__all__ = ["Image", "Registry", "debian_base", "lighttpd_image"]
+
+
+class Image(object):
+    """A named, read-only stack of layers (lowest first)."""
+
+    def __init__(self, name, layers):
+        self.name = name
+        self.layers = [dict(layer) for layer in layers]
+
+    def flat(self):
+        """The merged view: higher layers override lower ones."""
+        merged = {}
+        for layer in self.layers:
+            merged.update(layer)
+        return merged
+
+    @property
+    def total_bytes(self):
+        return sum(len(data) for data in self.flat().values())
+
+    @property
+    def file_count(self):
+        return len(self.flat())
+
+    def __repr__(self):
+        return "<Image %s: %d files, %d bytes>" % (
+            self.name, self.file_count, self.total_bytes,
+        )
+
+
+class Registry(object):
+    """Stores images by name and materialises them onto filesystems."""
+
+    def __init__(self):
+        self._images = {}
+
+    def push(self, image):
+        self._images[image.name] = image
+        return image
+
+    def get(self, name):
+        return self._images[name]
+
+    def __contains__(self, name):
+        return name in self._images
+
+    def materialize(self, task, image, fs, prefix="/"):
+        """Write the image's merged tree under ``prefix`` on ``fs``.
+
+        Sim generator: this is the "expand the image into a file tree"
+        step of container creation — or, for Danaus, the one-time
+        population of the shared read-only lower branch.
+        """
+        written = 0
+        for path, data in sorted(image.flat().items()):
+            target = pathutil.join(prefix, path.lstrip("/"))
+            yield from fs.makedirs(task, pathutil.parent_of(target))
+            yield from fs.write_file(task, target, data)
+            written += len(data)
+        return written
+
+
+def debian_base(name="debian9", scale=1.0 / 1024, seed=7):
+    """A synthetic Debian-like base image.
+
+    ``scale`` shrinks the paper's 2.7 GB image (default: to ~2.7 MB) while
+    keeping the file-count/size *shape*: a few large libraries, many small
+    configuration files.
+    """
+    def sized(nominal):
+        return max(int(nominal * scale), 64)
+
+    layer_os = {}
+    # Large shared objects (the mmap traffic of container startup).
+    for index, nominal in enumerate(
+        [units.mib(180), units.mib(90), units.mib(60), units.mib(45)]
+    ):
+        layer_os["/lib/lib%d.so" % index] = pseudo_bytes(
+            sized(nominal), (seed, "lib", index)
+        )
+    # Binaries (the exec traffic).
+    for binary, nominal in [
+        ("sh", units.mib(1)), ("ls", units.kib(140)), ("cat", units.kib(40)),
+        ("init", units.mib(2)),
+    ]:
+        layer_os["/bin/" + binary] = pseudo_bytes(
+            sized(nominal), (seed, "bin", binary)
+        )
+    # Many small files: /etc and friends.
+    layer_etc = {}
+    for index in range(48):
+        layer_etc["/etc/conf.d/%02d.conf" % index] = pseudo_bytes(
+            sized(units.kib(24)), (seed, "etc", index)
+        )
+    layer_share = {
+        "/usr/share/doc/readme.%d" % index: pseudo_bytes(
+            sized(units.kib(96)), (seed, "doc", index)
+        )
+        for index in range(24)
+    }
+    return Image(name, [layer_os, layer_etc, layer_share])
+
+
+def lighttpd_image(base=None, scale=1.0 / 1024, seed=11):
+    """Debian base plus the Lighttpd binary, config and web root."""
+    if base is None:
+        base = debian_base(scale=scale, seed=seed)
+
+    def sized(nominal):
+        return max(int(nominal * scale), 64)
+
+    app_layer = {
+        "/usr/sbin/lighttpd": pseudo_bytes(sized(units.mib(3)), (seed, "httpd")),
+        "/etc/lighttpd/lighttpd.conf": pseudo_bytes(
+            sized(units.kib(32)), (seed, "conf")
+        ),
+    }
+    for index in range(16):
+        app_layer["/var/www/page%02d.html" % index] = pseudo_bytes(
+            sized(units.kib(64)), (seed, "www", index)
+        )
+    return Image("lighttpd", base.layers + [app_layer])

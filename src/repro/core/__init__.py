@@ -1,0 +1,14 @@
+"""Danaus core: filesystem library, IPC and per-tenant services."""
+
+from repro.core.ipc import DanausIpc, IpcRequest, RequestQueue
+from repro.core.library import FilesystemLibrary
+from repro.core.service import FilesystemInstance, FilesystemService
+
+__all__ = [
+    "DanausIpc",
+    "IpcRequest",
+    "RequestQueue",
+    "FilesystemLibrary",
+    "FilesystemInstance",
+    "FilesystemService",
+]

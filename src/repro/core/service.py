@@ -1,0 +1,156 @@
+"""The Danaus filesystem service: a standalone user-level process.
+
+One service serves one container pool (or one mount of it). It owns the
+*filesystem instances* — each a stack of libservices (union over backend
+client) — and the back driver: service threads, one pinned per request
+queue, that pick requests off shared memory and execute them entirely at
+user level on the pool's reserved cores (§3.1, §3.5).
+
+Extra service threads are spawned when a queue's backlog exceeds a
+threshold, mirroring the paper's elasticity rule.
+
+Fault containment (§5): ``crash()`` kills the service; its mounts fail
+with :class:`ServiceFailed`, while the host kernel, other pools and other
+services keep running — which a test demonstrates.
+"""
+
+from repro.common.errors import NotMounted, ServiceFailed
+from repro.core.ipc import DanausIpc
+from repro.fs import pathutil
+from repro.fs.api import Task
+from repro.metrics import MetricSet
+from repro.sim.cpu import SimThread
+
+__all__ = ["FilesystemInstance", "FilesystemService"]
+
+#: Upper bound of extra service threads per queue.
+MAX_EXTRA_THREADS = 4
+
+
+class FilesystemInstance(object):
+    """One mounted stack of libservices (e.g. union over client)."""
+
+    __slots__ = ("mountpoint", "stack", "libservices")
+
+    def __init__(self, mountpoint, stack, libservices=()):
+        self.mountpoint = pathutil.normalize(mountpoint)
+        self.stack = stack
+        self.libservices = tuple(libservices)
+
+    def __repr__(self):
+        return "<FilesystemInstance %s: %s>" % (
+            self.mountpoint,
+            "+".join(self.libservices) or self.stack.name,
+        )
+
+
+class FilesystemService(object):
+    """Back driver + filesystem table of one Danaus service process."""
+
+    def __init__(self, sim, machine, costs, pool_cores, name="fsvc",
+                 single_queue=False, metrics=None, pool=None):
+        self.sim = sim
+        self.machine = machine
+        self.costs = costs
+        self.name = name
+        self.pool = pool
+        self.pool_cores = list(pool_cores)
+        self.metrics = metrics if metrics is not None else MetricSet(name)
+        self.ipc = DanausIpc(
+            sim, machine, costs, pool_cores, name="%s.ipc" % name,
+            single_queue=single_queue, metrics=self.metrics,
+        )
+        self.fs_table = {}  # mountpoint -> FilesystemInstance
+        self.crashed = False
+        self._threads = []
+        self._extra_per_queue = {}
+        for queue in self.ipc.queues:
+            self._start_thread(queue, extra=False)
+
+    # -- mounts ------------------------------------------------------------
+
+    def mount(self, mountpoint, stack, libservices=()):
+        """Register a filesystem instance at ``mountpoint``."""
+        instance = FilesystemInstance(mountpoint, stack, libservices)
+        self.fs_table[instance.mountpoint] = instance
+        return instance
+
+    def instance_at(self, mountpoint):
+        instance = self.fs_table.get(pathutil.normalize(mountpoint))
+        if instance is None:
+            raise NotMounted(path=mountpoint)
+        return instance
+
+    # -- back driver --------------------------------------------------------------
+
+    def _start_thread(self, queue, extra):
+        index = len(self._threads)
+        cores = queue.cores if queue.cores else self.pool_cores
+        thread = SimThread(self.sim, "%s.t%d" % (self.name, index), cores)
+        if len(cores) == 1:
+            thread.pin(cores[0])
+        self._threads.append(thread)
+        self.sim.spawn(self._service_loop(thread, queue), name=thread.name)
+        if extra:
+            self._extra_per_queue[queue.index] = (
+                self._extra_per_queue.get(queue.index, 0) + 1
+            )
+            self.sim.trace("svc", "scale", service=self.name,
+                           queue=queue.index)
+            self.metrics.counter("extra_threads").add(1)
+
+    def _maybe_scale(self, queue):
+        backlog = queue.backlog
+        if backlog < self.costs.ipc_backlog_threshold:
+            return
+        if self._extra_per_queue.get(queue.index, 0) >= MAX_EXTRA_THREADS:
+            return
+        self._start_thread(queue, extra=True)
+
+    def _service_loop(self, thread, queue):
+        task = Task(thread, pool=self.pool)
+        costs = self.costs
+        while not self.crashed:
+            request = yield queue.store.get()
+            if self.crashed:
+                request.reply.fail(ServiceFailed("service %s died" % self.name))
+                return
+            yield self.sim.timeout(costs.ipc_poll_latency)
+            yield from task.cpu(costs.ipc_queue_op)
+            self._maybe_scale(queue)
+            handler = getattr(request.fs, request.op)
+            try:
+                result = yield from handler(task, *request.args)
+            except ServiceFailed:
+                request.reply.fail(ServiceFailed("service %s died" % self.name))
+                continue
+            except Exception as err:  # noqa: BLE001 - forwarded to the app
+                request.reply.fail(err)
+                continue
+            request.reply.succeed(result)
+            self.metrics.counter("ops_served").add(1)
+
+    # -- fault injection -------------------------------------------------------------
+
+    def crash(self):
+        """Kill the service process: all its mounts fail from now on."""
+        self.crashed = True
+        self.ipc.fail()
+        self.metrics.counter("crashes").add(1)
+
+    # -- front-driver entry ------------------------------------------------------------
+
+    def call(self, task, instance, op, args, payload_out=0, payload_in=0):
+        """Submit one operation against a mounted instance (generator)."""
+        if self.crashed:
+            raise ServiceFailed("filesystem service %s is down" % self.name)
+        return (
+            yield from self.ipc.submit(
+                task, instance.stack, op, args,
+                payload_out=payload_out, payload_in=payload_in,
+            )
+        )
+
+    def __repr__(self):
+        state = "crashed" if self.crashed else "%d mounts" % len(self.fs_table)
+        return "<FilesystemService %s %s>" % (self.name, state)

@@ -1,0 +1,145 @@
+"""Library-managed pipes and directory streams (§4.1).
+
+"We overload the library open files to also access the network sockets
+and directory streams using mechanisms similar to the above." — the
+Danaus filesystem library owns the file-descriptor space, so descriptors
+for IPC pipes and directory iteration live in the same *library file
+table* as regular files and never touch the kernel.
+
+* :class:`LibraryPipe` — a byte pipe between container processes backed
+  by user-level shared memory (a bounded buffer with blocking reads and
+  writes, like ``pipe(2)`` without the kernel).
+* :class:`DirStream` — ``opendir``/``readdir``/``closedir`` semantics
+  over any mounted filesystem: a positioned iterator with a stable
+  snapshot, as POSIX allows.
+"""
+
+from collections import deque
+
+from repro.common.errors import BadFileDescriptor, InvalidArgument
+
+__all__ = ["LibraryPipe", "DirStream", "PIPE_BUF_DEFAULT"]
+
+#: Default pipe capacity (bytes), matching the Linux default of 64 KiB.
+PIPE_BUF_DEFAULT = 64 * 1024
+
+
+class LibraryPipe(object):
+    """A user-level pipe: bounded byte buffer with blocking endpoints."""
+
+    def __init__(self, sim, capacity=PIPE_BUF_DEFAULT, name="pipe"):
+        if capacity <= 0:
+            raise InvalidArgument("pipe capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._buffer = deque()  # chunks of bytes
+        self._buffered = 0
+        self._readers = deque()  # events waiting for data
+        self._writers = deque()  # (event, data) waiting for space
+        self.write_closed = False
+        self.read_closed = False
+
+    # -- write end -----------------------------------------------------------
+
+    def write(self, task, data):
+        """Write ``data``; blocks while the buffer is full. Sim generator."""
+        if self.write_closed:
+            raise BadFileDescriptor(path=self.name)
+        if self.read_closed:
+            raise InvalidArgument("broken pipe %s" % self.name)
+        view = memoryview(bytes(data))
+        written = 0
+        while written < len(view):
+            space = self.capacity - self._buffered
+            if space <= 0:
+                gate = self.sim.event(name="pipe-space")
+                self._writers.append(gate)
+                yield gate
+                if self.read_closed:
+                    raise InvalidArgument("broken pipe %s" % self.name)
+                continue
+            piece = bytes(view[written:written + space])
+            self._buffer.append(piece)
+            self._buffered += len(piece)
+            written += len(piece)
+            while self._readers:
+                self._readers.popleft().succeed()
+        return written
+
+    def close_write(self):
+        """Close the write end: readers drain the buffer then see EOF."""
+        self.write_closed = True
+        while self._readers:
+            self._readers.popleft().succeed()
+
+    # -- read end -------------------------------------------------------------
+
+    def read(self, task, size):
+        """Read up to ``size`` bytes; blocks while empty. b'' = EOF."""
+        if self.read_closed:
+            raise BadFileDescriptor(path=self.name)
+        if size < 0:
+            raise InvalidArgument("negative read size")
+        while self._buffered == 0:
+            if self.write_closed:
+                return b""
+            gate = self.sim.event(name="pipe-data")
+            self._readers.append(gate)
+            yield gate
+        out = bytearray()
+        while self._buffer and len(out) < size:
+            chunk = self._buffer[0]
+            take = min(len(chunk), size - len(out))
+            out.extend(chunk[:take])
+            if take == len(chunk):
+                self._buffer.popleft()
+            else:
+                self._buffer[0] = chunk[take:]
+            self._buffered -= take
+        while self._writers:
+            self._writers.popleft().succeed()
+        return bytes(out)
+
+    def close_read(self):
+        """Close the read end: pending/future writers get EPIPE."""
+        self.read_closed = True
+        while self._writers:
+            self._writers.popleft().succeed()
+
+
+class DirStream(object):
+    """A positioned directory iterator (opendir/readdir/closedir)."""
+
+    def __init__(self, fs, path, entries):
+        self.fs = fs
+        self.path = path
+        self._entries = list(entries)
+        self._position = 0
+        self.closed = False
+
+    def next_entry(self):
+        """The next name, or None at end-of-stream."""
+        if self.closed:
+            raise BadFileDescriptor(path=self.path)
+        if self._position >= len(self._entries):
+            return None
+        entry = self._entries[self._position]
+        self._position += 1
+        return entry
+
+    def rewind(self):
+        if self.closed:
+            raise BadFileDescriptor(path=self.path)
+        self._position = 0
+
+    def tell(self):
+        return self._position
+
+    def seek(self, position):
+        if not 0 <= position <= len(self._entries):
+            raise InvalidArgument("bad dir position %d" % position)
+        self._position = position
+
+    def close(self):
+        self.closed = True

@@ -1,0 +1,14 @@
+"""Filesystem abstractions: the POSIX-like API, paths, in-memory trees."""
+
+from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags, Task
+from repro.fs.memtree import MemTree, Node
+
+__all__ = [
+    "FileHandle",
+    "FileStat",
+    "Filesystem",
+    "OpenFlags",
+    "Task",
+    "MemTree",
+    "Node",
+]

@@ -1,0 +1,246 @@
+"""The POSIX-like filesystem interface shared by every layer.
+
+Everything that looks like a filesystem in this reproduction — the local
+ext4-like filesystem, the Ceph-like client personalities, the union
+filesystem, and the Danaus libservices — implements :class:`Filesystem`.
+All operations are *generators* running on the simulation clock: they
+consume CPU on the calling task's cores and wait on devices and locks.
+
+The :class:`Task` is the execution context (the calling thread plus its
+container pool); passing it explicitly is the simulator's equivalent of
+"current process" state.
+"""
+
+import enum
+
+from repro.common.errors import InvalidArgument
+
+__all__ = ["OpenFlags", "FileStat", "Task", "FileHandle", "Filesystem"]
+
+
+class OpenFlags(enum.IntFlag):
+    """POSIX-style open(2) flags."""
+
+    RDONLY = 0x0
+    WRONLY = 0x1
+    RDWR = 0x2
+    CREAT = 0x40
+    EXCL = 0x80
+    TRUNC = 0x200
+    APPEND = 0x400
+    DIRECTORY = 0x10000
+
+    @property
+    def wants_write(self):
+        return bool(self & (OpenFlags.WRONLY | OpenFlags.RDWR | OpenFlags.APPEND))
+
+    @property
+    def wants_read(self):
+        return not (self & OpenFlags.WRONLY)
+
+
+class FileStat(object):
+    """stat(2) result subset used by the workloads and tests."""
+
+    __slots__ = ("ino", "is_dir", "size", "mtime", "nlink")
+
+    def __init__(self, ino, is_dir, size, mtime, nlink=1):
+        self.ino = ino
+        self.is_dir = is_dir
+        self.size = size
+        self.mtime = mtime
+        self.nlink = nlink
+
+    def __repr__(self):
+        kind = "dir" if self.is_dir else "file"
+        return "<FileStat ino=%d %s size=%d>" % (self.ino, kind, self.size)
+
+
+class Task(object):
+    """Execution context of a filesystem request.
+
+    Attributes:
+        thread: the :class:`~repro.sim.cpu.SimThread` doing the work.
+        pool: the container pool (or None for host tasks); carries the
+            cgroup RAM account used for page-cache charging.
+        pid: process identifier (distinct library state per process).
+    """
+
+    _next_pid = [1]
+
+    __slots__ = ("thread", "pool", "pid")
+
+    def __init__(self, thread, pool=None, pid=None):
+        self.thread = thread
+        self.pool = pool
+        if pid is None:
+            pid = Task._next_pid[0]
+            Task._next_pid[0] += 1
+        self.pid = pid
+
+    def cpu(self, seconds):
+        """Consume ``seconds`` of CPU on this task's thread."""
+        yield from self.thread.run(seconds)
+
+    def __repr__(self):
+        return "<Task pid=%d thread=%s>" % (self.pid, self.thread.name)
+
+
+class FileHandle(object):
+    """An open-file object returned by :meth:`Filesystem.open`.
+
+    Filesystems subclass or wrap this; the base carries the path, the open
+    flags and a file position for sequential read/write helpers.
+    """
+
+    __slots__ = ("fs", "path", "flags", "pos", "closed")
+
+    def __init__(self, fs, path, flags):
+        self.fs = fs
+        self.path = path
+        self.flags = flags
+        self.pos = 0
+        self.closed = False
+
+    def __repr__(self):
+        state = "closed" if self.closed else "open"
+        return "<FileHandle %s %s>" % (self.path, state)
+
+
+class Filesystem(object):
+    """Abstract POSIX-like filesystem; all methods are sim generators.
+
+    Subclasses must implement the primitive operations; the base class
+    provides whole-file conveniences on top of them.
+    """
+
+    name = "fs"
+
+    # -- primitives (must be overridden) --------------------------------
+
+    def open(self, task, path, flags=OpenFlags.RDONLY, mode=0o644):
+        """Open (optionally creating) ``path``; returns a handle."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def close(self, task, handle):
+        """Close an open handle."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def read(self, task, handle, offset, size):
+        """Read up to ``size`` bytes at ``offset``; returns bytes."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def write(self, task, handle, offset, data):
+        """Write ``data`` at ``offset``; returns bytes written."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def fsync(self, task, handle):
+        """Flush dirty state of the file to stable storage."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def stat(self, task, path):
+        """Return a :class:`FileStat` for ``path``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def mkdir(self, task, path, mode=0o755):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def rmdir(self, task, path):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def unlink(self, task, path):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def readdir(self, task, path):
+        """List entry names of the directory at ``path``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def rename(self, task, old_path, new_path):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def truncate(self, task, path, size):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def peek(self, path, offset, size):
+        """Zero-cost read of resident data, or None when unsupported.
+
+        Used by caching layers above (the kernel page cache over FUSE) to
+        serve *cache hits* without paying the backend's simulated cost: a
+        hit means the bytes were already fetched and paid for once. Not a
+        sim generator — it must never consume simulated time.
+        """
+        return None
+
+    # -- conveniences -----------------------------------------------------
+
+    def exists(self, task, path):
+        """True when ``path`` resolves (sim generator)."""
+        from repro.common.errors import FsError
+
+        try:
+            yield from self.stat(task, path)
+        except FsError:
+            return False
+        return True
+
+    def read_file(self, task, path, chunk=1 << 20):
+        """Open, read fully in ``chunk`` pieces, close; returns bytes."""
+        handle = yield from self.open(task, path, OpenFlags.RDONLY)
+        try:
+            parts = []
+            offset = 0
+            while True:
+                data = yield from self.read(task, handle, offset, chunk)
+                if not data:
+                    break
+                parts.append(data)
+                offset += len(data)
+            return b"".join(parts)
+        finally:
+            yield from self.close(task, handle)
+
+    def write_file(self, task, path, data, chunk=1 << 20, sync=False):
+        """Create/overwrite ``path`` with ``data`` in ``chunk`` pieces."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise InvalidArgument("write_file needs bytes")
+        handle = yield from self.open(
+            task, path, OpenFlags.WRONLY | OpenFlags.CREAT | OpenFlags.TRUNC
+        )
+        try:
+            offset = 0
+            view = memoryview(data)
+            while offset < len(view):
+                piece = view[offset:offset + chunk]
+                written = yield from self.write(task, handle, offset, bytes(piece))
+                offset += written
+            if sync:
+                yield from self.fsync(task, handle)
+        finally:
+            yield from self.close(task, handle)
+        return len(data)
+
+    def makedirs(self, task, path):
+        """mkdir -p equivalent."""
+        from repro.common.errors import FileExists
+        from repro.fs import pathutil
+
+        parts = pathutil.components(path)
+        current = "/"
+        for part in parts:
+            current = pathutil.join(current, part)
+            try:
+                yield from self.mkdir(task, current)
+            except FileExists:
+                pass

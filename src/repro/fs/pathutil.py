@@ -1,0 +1,99 @@
+"""Path helpers used by every filesystem layer.
+
+Paths are always absolute, '/'-separated, normalised (no '.', '..', or
+duplicate slashes). The helpers here are deliberately strict: malformed
+paths raise :class:`InvalidArgument` rather than being silently patched,
+because path handling bugs are the classic source of union-filesystem
+escapes.
+"""
+
+from repro.common.errors import InvalidArgument
+
+__all__ = ["normalize", "split", "join", "components", "parent_of", "basename"]
+
+
+def normalize(path):
+    """Normalise ``path`` to a canonical absolute form.
+
+    Collapses duplicate slashes and '.' components and resolves '..'
+    lexically (never escaping the root).
+    """
+    if not isinstance(path, str) or not path:
+        raise InvalidArgument("empty path")
+    if not path.startswith("/"):
+        raise InvalidArgument("relative path", path=path)
+    parts = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def components(path):
+    """The list of path components of a normalised path ('/' -> [])."""
+    path = normalize(path)
+    if path == "/":
+        return []
+    return path[1:].split("/")
+
+
+def split(path):
+    """Return ``(parent, name)``; the root splits to ``('/', '')``."""
+    path = normalize(path)
+    if path == "/":
+        return "/", ""
+    parent, _, name = path.rpartition("/")
+    return (parent or "/", name)
+
+
+def parent_of(path):
+    """The parent directory of ``path``."""
+    return split(path)[0]
+
+
+def basename(path):
+    """The final component of ``path``."""
+    return split(path)[1]
+
+
+def join(*parts):
+    """Join path fragments and normalise the result.
+
+    The first fragment must be absolute; later fragments may be relative.
+    """
+    if not parts:
+        raise InvalidArgument("join needs at least one part")
+    pieces = [parts[0] if parts[0].startswith("/") else "/" + parts[0]]
+    for part in parts[1:]:
+        pieces.append(str(part))
+    return normalize("/".join(pieces))
+
+
+def is_ancestor(ancestor, path):
+    """True when ``ancestor`` is ``path`` or a lexical ancestor of it."""
+    ancestor = normalize(ancestor)
+    path = normalize(path)
+    if ancestor == "/":
+        return True
+    return path == ancestor or path.startswith(ancestor + "/")
+
+
+def relative_to(root, path):
+    """The path of ``path`` relative to ``root`` (with leading '/').
+
+    ``relative_to('/mnt', '/mnt/a/b') == '/a/b'``; raises when ``path`` is
+    outside ``root``.
+    """
+    root = normalize(root)
+    path = normalize(path)
+    if not is_ancestor(root, path):
+        raise InvalidArgument("%s is not under %s" % (path, root))
+    if root == "/":
+        return path
+    rest = path[len(root):]
+    return rest or "/"

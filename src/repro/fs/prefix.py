@@ -1,0 +1,67 @@
+"""Subtree view: expose a directory of a filesystem as its own root.
+
+Used everywhere a container sees a private slice of a shared namespace —
+the container root under ``/pools/<pool>/<cid>`` of the shared CephFS, or
+the legacy FUSE mountpoint inside the host VFS.
+"""
+
+from repro.fs import pathutil
+from repro.fs.api import Filesystem, OpenFlags
+
+__all__ = ["SubtreeFs"]
+
+
+class SubtreeFs(Filesystem):
+    """Delegates every operation to ``inner`` under a path prefix."""
+
+    def __init__(self, inner, root, name=None):
+        self.inner = inner
+        self.root = pathutil.normalize(root)
+        self.name = name or ("%s@%s" % (inner.name, self.root))
+
+    def _map(self, path):
+        path = pathutil.normalize(path)
+        return self.root if path == "/" else pathutil.join(self.root, path[1:])
+
+    def open(self, task, path, flags=OpenFlags.RDONLY, mode=0o644):
+        return (yield from self.inner.open(task, self._map(path), flags, mode))
+
+    def close(self, task, handle):
+        yield from self.inner.close(task, handle)
+
+    def read(self, task, handle, offset, size):
+        return (yield from self.inner.read(task, handle, offset, size))
+
+    def write(self, task, handle, offset, data):
+        return (yield from self.inner.write(task, handle, offset, data))
+
+    def fsync(self, task, handle):
+        yield from self.inner.fsync(task, handle)
+
+    def stat(self, task, path):
+        return (yield from self.inner.stat(task, self._map(path)))
+
+    def mkdir(self, task, path, mode=0o755):
+        return (yield from self.inner.mkdir(task, self._map(path), mode))
+
+    def rmdir(self, task, path):
+        return (yield from self.inner.rmdir(task, self._map(path)))
+
+    def unlink(self, task, path):
+        return (yield from self.inner.unlink(task, self._map(path)))
+
+    def readdir(self, task, path):
+        return (yield from self.inner.readdir(task, self._map(path)))
+
+    def rename(self, task, old_path, new_path):
+        return (
+            yield from self.inner.rename(
+                task, self._map(old_path), self._map(new_path)
+            )
+        )
+
+    def truncate(self, task, path, size):
+        return (yield from self.inner.truncate(task, self._map(path), size))
+
+    def peek(self, path, offset, size):
+        return self.inner.peek(self._map(path), offset, size)

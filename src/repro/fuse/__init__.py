@@ -1,0 +1,5 @@
+"""FUSE transport: user-level filesystems behind a kernel queue."""
+
+from repro.fuse.transport import FuseTransport
+
+__all__ = ["FuseTransport"]

@@ -1,0 +1,6 @@
+"""Hardware models: machines, cores, disks, RAM accounting."""
+
+from repro.hw.disk import Disk, Raid0, RamDisk
+from repro.hw.machine import CoreGroup, Machine, RamAccount
+
+__all__ = ["Disk", "Raid0", "RamDisk", "CoreGroup", "Machine", "RamAccount"]

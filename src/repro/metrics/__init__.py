@@ -1,0 +1,5 @@
+"""Metric collection: counters, gauges, histograms, utilisation probes."""
+
+from repro.metrics.core import Counter, Gauge, Histogram, MetricSet
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricSet"]

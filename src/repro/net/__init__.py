@@ -1,0 +1,5 @@
+"""Network models: shared links and RPC fabric."""
+
+from repro.net.fabric import Fabric, Link
+
+__all__ = ["Fabric", "Link"]

@@ -1,0 +1,81 @@
+"""Network model: links with latency and fairly-shared bandwidth.
+
+The testbed connects client and server machines over a 20 Gbps bonded link.
+We model a link as propagation latency plus a bandwidth pool shared by all
+in-flight transfers: each transfer proceeds in chunks whose duration scales
+with the number of concurrent transfers, which approximates per-flow fair
+queueing closely enough for the throughput shapes the paper reports.
+"""
+
+from repro.common import units
+from repro.common.errors import ConfigError
+from repro.metrics import MetricSet
+
+__all__ = ["Link", "Fabric"]
+
+
+class Link(object):
+    """A duplex link: ``latency`` + fair-shared ``bandwidth``."""
+
+    #: Transfer granularity; smaller chunks track sharing more accurately
+    #: at the cost of more events.
+    CHUNK = 256 * units.KIB
+
+    def __init__(self, sim, bandwidth=2.5 * units.GIB, latency=units.usec(40),
+                 name="link"):
+        if bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = latency
+        self.active = 0
+        self.metrics = MetricSet("link:%s" % name)
+
+    def transfer(self, nbytes):
+        """Move ``nbytes`` across the link; generator until delivered."""
+        yield self.sim.timeout(self.latency)
+        if nbytes <= 0:
+            return
+        self.active += 1
+        try:
+            remaining = nbytes
+            while remaining > 0:
+                piece = min(self.CHUNK, remaining)
+                share = self.bandwidth / self.active
+                yield self.sim.timeout(piece / share)
+                remaining -= piece
+        finally:
+            self.active -= 1
+        self.metrics.counter("bytes").add(nbytes)
+        self.metrics.counter("transfers").add(1)
+
+
+class Fabric(object):
+    """The client-to-storage network: one shared link plus RPC helpers."""
+
+    #: Fixed wire overhead per RPC (headers, framing).
+    HEADER_BYTES = 256
+
+    def __init__(self, sim, bandwidth=2.5 * units.GIB, latency=units.usec(40)):
+        self.sim = sim
+        self.link = Link(sim, bandwidth=bandwidth, latency=latency, name="fabric")
+
+    def request(self, payload_bytes=0):
+        """Send a request of ``payload_bytes`` toward a server."""
+        yield from self.link.transfer(self.HEADER_BYTES + payload_bytes)
+
+    def response(self, payload_bytes=0):
+        """Receive a response of ``payload_bytes`` from a server."""
+        yield from self.link.transfer(self.HEADER_BYTES + payload_bytes)
+
+    def rpc(self, server_gen, send_bytes=0, recv_bytes=0):
+        """Round-trip: ship the request, run the server logic, ship the reply.
+
+        ``server_gen`` is a generator implementing the server-side work
+        (queueing, journaling, disk I/O); its return value is returned.
+        """
+        yield from self.request(send_bytes)
+        result = yield from server_gen
+        yield from self.response(recv_bytes)
+        return result

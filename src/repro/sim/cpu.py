@@ -1,0 +1,189 @@
+"""Processor-core model.
+
+Cores are the contended hardware resource at the heart of the paper's
+motivation: the Linux kernel "steals" idle cores of other container pools
+to flush dirty pages, so a pool's performance depends on *whose* cores its
+I/O is processed on. We model each core as a FIFO run queue; computation is
+expressed as ``yield from thread.run(cpu_seconds)`` which slices the work
+into scheduling quanta so that competing threads interleave.
+
+Key concepts:
+
+* :class:`Core` — one hardware core with a run queue and cumulative busy
+  time (for utilisation reporting).
+* :class:`SimThread` — a schedulable entity with a *cpuset* (the cores it
+  may run on, i.e. its cgroup cpuset) and optional *pinning* to a single
+  core (Danaus pins service and application threads, §3.5).
+* :class:`UtilizationProbe` — samples busy time over a window to report
+  per-core utilisation like the paper's line charts.
+"""
+
+from repro.common.errors import SimulationError
+from repro.sim.sync import Mutex
+
+__all__ = ["Core", "SimThread", "UtilizationProbe", "DEFAULT_QUANTUM"]
+
+#: Default scheduling quantum (seconds). Work longer than this is sliced so
+#: that contending threads share a core rather than running to completion.
+DEFAULT_QUANTUM = 0.0005
+
+
+class Core(object):
+    """A single hardware core: a FIFO run queue plus busy-time accounting."""
+
+    __slots__ = ("sim", "index", "name", "_mutex", "busy_time", "last_thread")
+
+    def __init__(self, sim, index, name=None):
+        self.sim = sim
+        self.index = index
+        self.name = name or ("core%d" % index)
+        self._mutex = Mutex(sim, name="runq:%s" % self.name)
+        self.busy_time = 0.0
+        self.last_thread = None
+
+    @property
+    def load(self):
+        """Current run-queue length (running + waiting threads)."""
+        return self._mutex.queue_len + (1 if self._mutex.locked else 0)
+
+    def occupy(self, duration, thread=None):
+        """Run ``thread`` on this core for ``duration`` seconds.
+
+        Generator; yields until the slice completes. Returns True when the
+        slice was a context switch (a different thread ran last).
+        """
+        yield self._mutex.acquire(who=thread)
+        switched = self.last_thread is not thread
+        self.last_thread = thread
+        try:
+            yield self.sim.timeout(duration)
+            self.busy_time += duration
+        finally:
+            self._mutex.release()
+        return switched
+
+    def __repr__(self):
+        return "<Core %s load=%d>" % (self.name, self.load)
+
+
+class SimThread(object):
+    """A schedulable thread of execution.
+
+    Attributes:
+        cpuset: list of :class:`Core` the thread may run on (its cgroup).
+        pinned: a single :class:`Core` or None; set by Danaus drivers.
+        ctx_switches: count of core handoffs where this thread displaced a
+            different one — an approximation of involuntary+voluntary
+            context switches, complemented by the explicit counts the FUSE
+            and IPC transports record.
+    """
+
+    __slots__ = ("sim", "name", "cpuset", "pinned", "ctx_switches", "cpu_time")
+
+    def __init__(self, sim, name, cpuset):
+        if not cpuset:
+            raise SimulationError("thread %r needs a non-empty cpuset" % name)
+        self.sim = sim
+        self.name = name
+        self.cpuset = list(cpuset)
+        self.pinned = None
+        self.ctx_switches = 0
+        self.cpu_time = 0.0
+
+    def pin(self, core):
+        """Pin the thread to ``core`` (must be inside the cpuset)."""
+        if core not in self.cpuset:
+            raise SimulationError(
+                "cannot pin %s to %s outside its cpuset" % (self.name, core.name)
+            )
+        self.pinned = core
+
+    def unpin(self):
+        self.pinned = None
+
+    def set_cpuset(self, cores):
+        """Move the thread to a new cpuset (cgroup reconfiguration)."""
+        if not cores:
+            raise SimulationError("empty cpuset for %r" % self.name)
+        self.cpuset = list(cores)
+        if self.pinned is not None and self.pinned not in self.cpuset:
+            self.pinned = None
+
+    def pick_core(self):
+        """Choose the core for the next slice: pinned, else least loaded.
+
+        Ties on instantaneous run-queue length break toward the core with
+        the least accumulated busy time — the load-balancing behaviour of
+        a real scheduler. Without it, roaming kernel threads (flushers,
+        kworkers) would pile onto the lowest-numbered cores and never
+        spread onto idle neighbour cores, hiding the core stealing the
+        paper measures (Fig. 1a).
+        """
+        if self.pinned is not None:
+            return self.pinned
+        best = self.cpuset[0]
+        for core in self.cpuset[1:]:
+            if (core.load, core.busy_time) < (best.load, best.busy_time):
+                best = core
+        return best
+
+    def run(self, cpu_seconds, quantum=DEFAULT_QUANTUM):
+        """Consume ``cpu_seconds`` of processor time on the cpuset.
+
+        Generator; the work is sliced into ``quantum``-sized pieces, each
+        dispatched to the currently least-loaded permitted core, so that
+        contention shows up as queueing delay rather than being ignored.
+        """
+        if cpu_seconds < 0:
+            raise SimulationError("negative cpu time %r" % cpu_seconds)
+        remaining = cpu_seconds
+        while remaining > 1e-12:
+            piece = remaining if remaining < quantum else quantum
+            core = self.pick_core()
+            switched = yield from core.occupy(piece, thread=self)
+            if switched:
+                self.ctx_switches += 1
+            self.cpu_time += piece
+            remaining -= piece
+
+    def __repr__(self):
+        where = self.pinned.name if self.pinned else "%d cores" % len(self.cpuset)
+        return "<SimThread %s on %s>" % (self.name, where)
+
+
+class UtilizationProbe(object):
+    """Samples per-core busy time to compute utilisation over a window.
+
+    The paper's line charts report "% utilisation of the cores of pool X";
+    this probe snapshots cumulative busy time at start and computes
+    ``(busy_delta / elapsed)`` per core on demand.
+    """
+
+    def __init__(self, sim, cores):
+        self.sim = sim
+        self.cores = list(cores)
+        self.reset()
+
+    def reset(self):
+        self._t0 = self.sim.now
+        self._busy0 = [core.busy_time for core in self.cores]
+
+    def utilization(self):
+        """Mean utilisation (0..1) per core across the window so far."""
+        elapsed = self.sim.now - self._t0
+        if elapsed <= 0:
+            return 0.0
+        busy = sum(
+            core.busy_time - b0 for core, b0 in zip(self.cores, self._busy0)
+        )
+        return busy / (elapsed * len(self.cores))
+
+    def total_utilization(self):
+        """Summed utilisation across cores (e.g. 122% = 1.22 of one core)."""
+        elapsed = self.sim.now - self._t0
+        if elapsed <= 0:
+            return 0.0
+        busy = sum(
+            core.busy_time - b0 for core, b0 in zip(self.cores, self._busy0)
+        )
+        return busy / elapsed

@@ -1,0 +1,393 @@
+"""A small discrete-event simulation (DES) engine.
+
+The engine drives every component of the Danaus reproduction: filesystem
+operations, kernel writeback, network transfers and workload generators all
+run as :class:`Process` coroutines over a shared :class:`Simulator` clock.
+
+The programming model follows the classic generator-coroutine style:
+
+    def worker(sim):
+        yield sim.timeout(1.0)          # sleep 1 simulated second
+        result = yield other_process    # wait for a process to finish
+        return result
+
+A process yields :class:`Event` objects and is resumed with the event's
+value once the event triggers. Exceptions propagate: failing an event with
+``event.fail(exc)`` raises ``exc`` inside every waiting process.
+
+The engine is deliberately small but complete: one-shot events, timeouts,
+process join, ``any_of``/``all_of`` combinators and interrupts. It is
+deterministic — two runs with the same seed produce identical traces.
+"""
+
+import heapq
+
+from repro.common.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Simulator",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class Event(object):
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, after which its callbacks run at the
+    current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "name")
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._exc = None
+        self.triggered = False
+        self.name = name
+
+    @property
+    def ok(self):
+        """True when the event triggered successfully."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self):
+        """The value the event was triggered with (or raises its failure)."""
+        if not self.triggered:
+            raise SimulationError("event %r has not triggered yet" % self)
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event %r already triggered" % self)
+        self.triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc):
+        """Trigger the event with an exception.
+
+        Waiting processes get ``exc`` raised at their ``yield``.
+        """
+        if self.triggered:
+            raise SimulationError("event %r already triggered" % self)
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def subscribe(self, callback):
+        """Register ``callback(event)``; runs when the event triggers.
+
+        If the event already triggered, the callback is scheduled to run at
+        the current time (never synchronously), preserving run-to-completion
+        semantics for the caller.
+        """
+        if self.triggered:
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self):
+        state = "triggered" if self.triggered else "pending"
+        label = self.name or self.__class__.__name__
+        return "<%s %s>" % (label, state)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise SimulationError("negative timeout delay %r" % delay)
+        super().__init__(sim, name="Timeout(%g)" % delay)
+        self._value = value
+        sim._schedule(sim.now + delay, self._fire)
+
+    def _fire(self):
+        self.triggered = True
+        self.sim._run_callbacks(self)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running coroutine; also an event that triggers when it finishes.
+
+    The process's return value (via ``return x`` in the generator) becomes
+    the event value, so ``result = yield proc`` both joins and collects.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_resume_scheduled")
+
+    def __init__(self, sim, generator, name=None):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "spawn() needs a generator, got %r — did you call the "
+                "function with ()?" % (generator,)
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "proc"))
+        self.generator = generator
+        self._waiting_on = None
+        self._resume_scheduled = False
+        sim._schedule_call(lambda: self._step(None, None))
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Raise :class:`Interrupt` inside the process at its current yield.
+
+        The event the process was waiting on is abandoned (its trigger will
+        be ignored by this process). Interrupting a finished process is a
+        no-op.
+        """
+        if self.triggered:
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None:
+            try:
+                waited.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+        self.sim._schedule_call(lambda: self._step(None, Interrupt(cause)))
+
+    def _on_event(self, event):
+        if self._waiting_on is not event:
+            return  # interrupted while waiting; stale wakeup
+        self._waiting_on = None
+        if event.ok:
+            self._step(event._value, None)
+        else:
+            self._step(None, event._exc)
+
+    def _step(self, value, exc):
+        if self.triggered:
+            return
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.triggered = True
+            self._value = stop.value
+            self.sim._schedule_event(self)
+            return
+        except Interrupt as intr:
+            # An uncaught interrupt terminates the process quietly.
+            self.triggered = True
+            self._value = intr.cause
+            self.sim._schedule_event(self)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to joiners
+            self.triggered = True
+            self._exc = err
+            if not self.callbacks:
+                self.sim._record_crash(self, err)
+            self.sim._schedule_event(self)
+            return
+        if not isinstance(target, Event):
+            self.generator.throw(
+                SimulationError("process yielded non-event %r" % (target,))
+            )
+            return
+        if target.sim is not self.sim:
+            self.generator.throw(
+                SimulationError("event from a different simulator yielded")
+            )
+            return
+        self._waiting_on = target
+        target.subscribe(self._on_event)
+
+
+class AnyOf(Event):
+    """Triggers when any child event triggers; value is (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim, events):
+        super().__init__(sim, name="AnyOf")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, event in enumerate(self._children):
+            event.subscribe(self._make_cb(index))
+
+    def _make_cb(self, index):
+        def cb(event):
+            if self.triggered:
+                return
+            if event.ok:
+                self.succeed((index, event._value))
+            else:
+                self.fail(event._exc)
+
+        return cb
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered; value is the list."""
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, sim, events):
+        super().__init__(sim, name="AllOf")
+        self._children = list(events)
+        self._pending = len(self._children)
+        if not self._children:
+            # Trivially complete.
+            self.succeed([])
+            return
+        for event in self._children:
+            event.subscribe(self._on_child)
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child._value for child in self._children])
+
+
+class Simulator(object):
+    """The event loop: a clock plus a priority queue of pending callbacks."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+        self.crashed = []  # (process, exception) for unobserved failures
+        self.tracer = None  # optional repro.trace.Tracer
+
+    def trace(self, category, name, **detail):
+        """Emit a trace event when a tracer is attached (else a no-op)."""
+        if self.tracer is not None:
+            self.tracer.emit(self.now, category, name, **detail)
+
+    # -- scheduling internals ------------------------------------------
+
+    def _schedule(self, when, fn):
+        if when < self.now:
+            raise SimulationError("cannot schedule in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn))
+
+    def _schedule_call(self, fn):
+        self._schedule(self.now, fn)
+
+    def _schedule_event(self, event):
+        self._schedule(self.now, lambda: self._run_callbacks(event))
+
+    def _run_callbacks(self, event):
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def _record_crash(self, process, exc):
+        self.crashed.append((process, exc))
+
+    # -- public API ------------------------------------------------------
+
+    def event(self, name=None):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None):
+        """Create an event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator, name=None):
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        """Wait for the first of ``events``; yields ``(index, value)``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        """Wait for all ``events``; yields the list of their values."""
+        return AllOf(self, events)
+
+    def run(self, until=None):
+        """Run events until the queue is empty or the clock passes ``until``.
+
+        Returns the final simulation time. Unobserved process crashes are
+        re-raised here so that bugs never pass silently.
+        """
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            fn()
+            if self.crashed:
+                process, exc = self.crashed[0]
+                raise SimulationError(
+                    "process %r crashed: %r" % (process.name, exc)
+                ) from exc
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return self.now
+
+    def run_until(self, event, deadline):
+        """Run until ``event`` triggers or the clock passes ``deadline``.
+
+        Unlike :meth:`run`, this stops as soon as the event fires — vital
+        when daemon loops (flushers, service threads) keep the heap
+        non-empty forever. Returns True when the event triggered.
+        """
+        while self._heap and not event.triggered:
+            when, _seq, fn = self._heap[0]
+            if when > deadline:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            fn()
+            if self.crashed:
+                process, exc = self.crashed[0]
+                raise SimulationError(
+                    "process %r crashed: %r" % (process.name, exc)
+                ) from exc
+        return event.triggered
+
+    def run_process(self, generator, name=None, until=None):
+        """Convenience: spawn ``generator``, run until it finishes, return value."""
+        process = self.spawn(generator, name=name)
+        self.run(until=until)
+        if not process.triggered:
+            raise SimulationError(
+                "process %r did not finish by t=%r" % (process.name, until)
+            )
+        return process.value

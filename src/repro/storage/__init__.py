@@ -1,0 +1,9 @@
+"""Ceph-like storage backend: CRUSH placement, OSDs, MDS, cluster."""
+
+from repro.storage.cluster import CephCluster
+from repro.storage.crush import CrushMap
+from repro.storage.mds import InodeInfo, Mds
+from repro.storage.monitor import Monitor
+from repro.storage.osd import Osd
+
+__all__ = ["CephCluster", "CrushMap", "InodeInfo", "Mds", "Monitor", "Osd"]

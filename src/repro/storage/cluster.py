@@ -1,0 +1,218 @@
+"""The storage cluster: OSDs + MDS + placement, behind the network fabric.
+
+This is the "server machine" of the testbed: 6 OSDs and 1 MDS in VMs over
+ramdisks. Clients interact with it exclusively through the *protocol
+methods* here, each of which wraps server work in a network round trip on
+the shared fabric — so many clients on the host contend for the same link
+and the same OSD queues, exactly like the real deployment.
+
+File data is striped over fixed-size objects (``costs.object_size``);
+object placement is computed client-side through the CRUSH map.
+"""
+
+from repro.common.errors import InvalidArgument
+from repro.metrics import MetricSet
+from repro.storage.crush import CrushMap
+from repro.storage.mds import Mds
+from repro.storage.monitor import Monitor
+from repro.storage.osd import Osd
+
+__all__ = ["CephCluster"]
+
+
+class CephCluster(object):
+    """A Ceph-like cluster reachable over one network fabric."""
+
+    def __init__(self, sim, fabric, costs, num_osds=6, replicas=1):
+        self.sim = sim
+        self.fabric = fabric
+        self.costs = costs
+        self.crush = CrushMap(num_osds, replicas=replicas)
+        self.osds = [Osd(sim, i, costs) for i in range(num_osds)]
+        self.mds = Mds(sim, costs)
+        self.monitor = Monitor(self)
+        self.metrics = MetricSet("cluster")
+        self._cap_clients = {}  # client_id -> client (caps-mode only)
+        self._next_client_id = 1
+
+    @property
+    def degraded(self):
+        """True while any OSD is marked down."""
+        return bool(self.monitor._down)
+
+    def _read_target(self, ino, index):
+        """The OSD id to read an object from, honouring failures."""
+        if not self.degraded:
+            return self.crush.primary(ino, index)
+        for osd_id in self.monitor.acting_set(ino, index):
+            if (ino, index) in self.osds[osd_id]._objects:
+                return osd_id
+        holders = self.monitor.holders(ino, index)
+        if holders:
+            return holders[0]
+        return self.monitor.acting_set(ino, index)[0]
+
+    def _write_targets(self, ino, index):
+        if not self.degraded:
+            return self.crush.placement(ino, index)
+        return self.monitor.acting_set(ino, index)
+
+    # -- object striping -------------------------------------------------
+
+    def object_extents(self, offset, size):
+        """Split a byte range into per-object ``(index, obj_off, length)``."""
+        if offset < 0 or size < 0:
+            raise InvalidArgument("negative offset/size")
+        extents = []
+        object_size = self.costs.object_size
+        position = offset
+        remaining = size
+        while remaining > 0:
+            index = position // object_size
+            obj_off = position % object_size
+            length = min(object_size - obj_off, remaining)
+            extents.append((index, obj_off, length))
+            position += length
+            remaining -= length
+        return extents
+
+    # -- data path (client-callable generators) ---------------------------------
+
+    def read_extent(self, ino, offset, size):
+        """Fetch ``[offset, offset+size)`` of file ``ino`` from the OSDs.
+
+        Returns the bytes actually stored (holes read as zeros only within
+        stored objects; fully absent tails return shorter data).
+        """
+        parts = []
+        for index, obj_off, length in self.object_extents(offset, size):
+            osd = self.osds[self._read_target(ino, index)]
+            data = yield from self.fabric.rpc(
+                osd.read(ino, index, obj_off, length),
+                send_bytes=0,
+                recv_bytes=length,
+            )
+            parts.append(data)
+        self.metrics.counter("read_bytes").add(size)
+        return b"".join(parts)
+
+    def write_extent(self, ino, offset, data):
+        """Write ``data`` at ``offset`` of file ``ino`` to all replicas."""
+        position = 0
+        for index, obj_off, length in self.object_extents(offset, len(data)):
+            piece = bytes(data[position:position + length])
+            position += length
+            for osd_id in self._write_targets(ino, index):
+                osd = self.osds[osd_id]
+                yield from self.fabric.rpc(
+                    osd.write(ino, index, obj_off, piece),
+                    send_bytes=length,
+                    recv_bytes=0,
+                )
+        self.metrics.counter("write_bytes").add(len(data))
+        return len(data)
+
+    def truncate(self, ino, size):
+        """Truncate the object set of ``ino`` to ``size`` bytes."""
+        object_size = self.costs.object_size
+        keep_objects = (size + object_size - 1) // object_size
+        for osd in self.osds:
+            stale = [
+                (i, o) for (i, o) in list(osd._objects) if i == ino
+            ]
+            for _ino, index in stale:
+                if index >= keep_objects:
+                    yield from self.fabric.rpc(
+                        osd.truncate(ino, index, 0), send_bytes=0, recv_bytes=0
+                    )
+                elif index == keep_objects - 1 and size % object_size:
+                    yield from self.fabric.rpc(
+                        osd.truncate(ino, index, size % object_size),
+                        send_bytes=0,
+                        recv_bytes=0,
+                    )
+
+    def peek(self, ino, offset, size):
+        """Zero-cost assembly of stored bytes (cache-hit reads).
+
+        A client that holds a range resident in its cache already paid the
+        network/OSD cost when it fetched the range; re-reading it costs
+        nothing, so cache hits read the authoritative object store
+        directly. Holes and unwritten tails read as zeros.
+        """
+        parts = []
+        for index, obj_off, length in self.object_extents(offset, size):
+            osd = self.osds[self._read_target(ino, index)]
+            obj = osd._objects.get((ino, index))
+            piece = bytes(obj[obj_off:obj_off + length]) if obj is not None else b""
+            if len(piece) < length:
+                piece += b"\x00" * (length - len(piece))
+            parts.append(piece)
+        return b"".join(parts)
+
+    def purge(self, ino):
+        """Background object deletion after unlink (no client-visible cost)."""
+        for osd in self.osds:
+            osd.purge_ino(ino)
+
+    # -- capabilities (caps-mode clients) -------------------------------------------
+
+    def register_client(self, client):
+        """Register a caps-mode client; returns its client id."""
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        self._cap_clients[client_id] = client
+        return client_id
+
+    def acquire_caps(self, client_id, ino, want):
+        """Grant ``want`` caps on ``ino``, revoking conflicting holders.
+
+        Sim generator. The conflicting holders' revocation handlers run to
+        completion (flushing dirty data, invalidating caches) before the
+        grant commits — so the caller pays the coherence latency, exactly
+        like a CephFS open racing a writer.
+        """
+        conflicts = yield from self.mds_call(
+            "caps_conflicts", ino, client_id, want
+        )
+        if conflicts:
+            pending = []
+            for holder_id, caps in conflicts:
+                holder = self._cap_clients.get(holder_id)
+                if holder is None:
+                    continue
+                pending.append(self.sim.spawn(
+                    holder.handle_cap_revoke(ino, caps),
+                    name="cap-revoke",
+                ))
+            if pending:
+                yield self.sim.all_of(pending)
+        held = yield from self.mds_call(
+            "caps_commit", ino, client_id, want, conflicts
+        )
+        self.metrics.counter("caps_grants").add(1)
+        return held
+
+    # -- metadata path ------------------------------------------------------------
+
+    def mds_call(self, op_name, *args, **kwargs):
+        """Run an MDS operation over the network; returns its result."""
+        op = getattr(self.mds, op_name)
+        return self.fabric.rpc(
+            op(*args, **kwargs), send_bytes=256, recv_bytes=256
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def stored_bytes(self):
+        return sum(osd.stored_bytes for osd in self.osds)
+
+    def file_bytes(self, ino):
+        """Total stored bytes of a file across OSDs (test helper)."""
+        return sum(
+            osd.object_size(ino, index)
+            for osd in self.osds
+            for (obj_ino, index) in list(osd._objects)
+            if obj_ino == ino
+        )

@@ -1,0 +1,52 @@
+"""CRUSH-style deterministic object placement.
+
+Ceph places each object on OSDs by hashing its identity through the CRUSH
+function; clients compute placements locally, so no directory service sits
+on the data path. We reproduce that property with a stable hash over
+``(ino, object_index, replica)``: any client maps an object to the same
+primary and replica OSDs without talking to a server.
+"""
+
+import hashlib
+
+from repro.common.errors import ConfigError
+
+__all__ = ["CrushMap"]
+
+
+class CrushMap(object):
+    """Deterministic placement of objects onto ``num_osds`` devices."""
+
+    def __init__(self, num_osds, replicas=1):
+        if num_osds <= 0:
+            raise ConfigError("need at least one OSD")
+        if not 1 <= replicas <= num_osds:
+            raise ConfigError(
+                "replicas=%d impossible with %d OSDs" % (replicas, num_osds)
+            )
+        self.num_osds = num_osds
+        self.replicas = replicas
+
+    def _hash(self, ino, index, attempt):
+        payload = ("%d/%d/%d" % (ino, index, attempt)).encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def placement(self, ino, index):
+        """The OSD ids holding object ``(ino, index)``, primary first.
+
+        Replica choices are distinct OSDs, selected by rehashing until a
+        fresh device appears (CRUSH's collision-retry behaviour).
+        """
+        chosen = []
+        attempt = 0
+        while len(chosen) < self.replicas:
+            osd = self._hash(ino, index, attempt) % self.num_osds
+            attempt += 1
+            if osd not in chosen:
+                chosen.append(osd)
+        return chosen
+
+    def primary(self, ino, index):
+        """The primary OSD for an object."""
+        return self.placement(ino, index)[0]

@@ -1,0 +1,176 @@
+"""Metadata server: the Ceph MDS analogue.
+
+The MDS owns the shared filesystem namespace — every client of every host
+sees the same tree. It stores attributes only (sizes via
+``Node.meta_size``); file bytes live on the OSDs. Namespace operations pay
+an op cost under a concurrency bound, modelling the single MDS VM of the
+testbed.
+
+A per-inode version counter lets clients validate cached attributes
+cheaply (the revalidate-on-open consistency the clients implement).
+"""
+
+from repro.common.errors import FileNotFound, InvalidArgument, IsADirectory
+from repro.fs.memtree import MemTree
+from repro.metrics import MetricSet
+from repro.sim.sync import Semaphore
+from repro.storage.caps import CapsTable
+
+__all__ = ["InodeInfo", "Mds"]
+
+
+class InodeInfo(object):
+    """Attribute snapshot shipped to clients."""
+
+    __slots__ = ("ino", "is_dir", "size", "mtime", "nlink", "version")
+
+    def __init__(self, ino, is_dir, size, mtime, nlink, version):
+        self.ino = ino
+        self.is_dir = is_dir
+        self.size = size
+        self.mtime = mtime
+        self.nlink = nlink
+        self.version = version
+
+    def __repr__(self):
+        return "<InodeInfo ino=%d size=%d v%d>" % (self.ino, self.size, self.version)
+
+
+class Mds(object):
+    """The metadata server: one shared namespace for all clients."""
+
+    def __init__(self, sim, costs):
+        self.sim = sim
+        self.costs = costs
+        self.tree = MemTree()
+        self._slots = Semaphore(sim, costs.mds_concurrency, name="mds")
+        self._versions = {}  # ino -> version counter
+        self.caps = CapsTable()
+        self.metrics = MetricSet("mds")
+
+    def _bump(self, node):
+        self._versions[node.ino] = self._versions.get(node.ino, 0) + 1
+
+    def _info(self, node):
+        return InodeInfo(
+            node.ino,
+            node.is_dir,
+            node.size,
+            node.mtime,
+            node.nlink,
+            self._versions.get(node.ino, 0),
+        )
+
+    def _op(self):
+        """Pay the MDS service cost under the concurrency bound."""
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.mds_op)
+        finally:
+            self._slots.release()
+        self.metrics.counter("ops").add(1)
+
+    def _meta_file(self, path, exclusive, mode):
+        node = self.tree.create_file(
+            path, now=self.sim.now, exclusive=exclusive, mode=mode
+        )
+        # The MDS never stores file bytes.
+        if node.data is not None and not node.data:
+            node.data = None
+            node.meta_size = 0
+        return node
+
+    # -- server-side operations (sim generators) ---------------------------
+
+    def lookup(self, path):
+        yield from self._op()
+        return self._info(self.tree.lookup(path))
+
+    def create(self, path, exclusive=False, mode=0o644):
+        yield from self._op()
+        node = self._meta_file(path, exclusive, mode)
+        self._bump(node)
+        return self._info(node)
+
+    def mkdir(self, path, mode=0o755):
+        yield from self._op()
+        node = self.tree.mkdir(path, now=self.sim.now, mode=mode)
+        self._bump(node)
+        return self._info(node)
+
+    def rmdir(self, path):
+        yield from self._op()
+        self.tree.rmdir(path, now=self.sim.now)
+
+    def unlink(self, path):
+        """Remove a file; returns its (ino, size) for object purging."""
+        yield from self._op()
+        node = self.tree.lookup(path)
+        if node.is_dir:
+            raise IsADirectory(path=path)
+        ino, size = node.ino, node.size
+        self.tree.unlink(path, now=self.sim.now)
+        self._versions.pop(ino, None)
+        return ino, size
+
+    def readdir(self, path):
+        yield from self._op()
+        names = self.tree.readdir(path)
+        # Marshalling grows with the directory size.
+        yield self.sim.timeout(self.costs.dirent_op * max(len(names), 1))
+        return names
+
+    def rename(self, old_path, new_path):
+        yield from self._op()
+        self.tree.rename(old_path, new_path, now=self.sim.now)
+
+    def setattr_size(self, path, size, mtime=None):
+        """Client cap flush: record the new size/mtime of a file."""
+        yield from self._op()
+        node = self.tree.lookup(path)
+        if node.is_dir:
+            raise IsADirectory(path=path)
+        if size < 0:
+            raise InvalidArgument("negative size")
+        node.meta_size = size
+        node.mtime = mtime if mtime is not None else self.sim.now
+        self._bump(node)
+        return self._info(node)
+
+    def setattr_size_by_ino(self, ino, size, mtime=None):
+        """Size update addressed by inode (used after renames)."""
+        yield from self._op()
+        for _path, node in self.tree.walk("/"):
+            if node.ino == ino:
+                node.meta_size = size
+                node.mtime = mtime if mtime is not None else self.sim.now
+                self._bump(node)
+                return self._info(node)
+        raise FileNotFound(path="ino:%d" % ino)
+
+    # -- capabilities (caps-mode clients only) --------------------------------
+
+    def caps_conflicts(self, ino, client_id, want):
+        """Which holders must drop caps before ``client_id`` gets ``want``."""
+        yield from self._op()
+        return self.caps.conflicts(ino, client_id, want)
+
+    def caps_commit(self, ino, client_id, want, revoked):
+        """Record completed revocations and grant ``want``."""
+        yield from self._op()
+        for holder, caps in revoked:
+            self.caps.revoke(ino, holder, caps)
+        self.caps.grant(ino, client_id, want)
+        return self.caps.held(ino, client_id)
+
+    def caps_release(self, ino, client_id, caps):
+        yield from self._op()
+        self.caps.revoke(ino, client_id, caps)
+
+    # -- helpers used by the cluster (no cost) --------------------------------
+
+    def path_exists(self, path):
+        return self.tree.try_lookup(path) is not None
+
+    def node_of(self, path):
+        return self.tree.lookup(path)

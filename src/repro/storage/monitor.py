@@ -1,0 +1,125 @@
+"""Cluster monitor: OSD liveness, map epochs, degraded placement.
+
+The Ceph MON analogue. It tracks which OSDs are up, bumps a map epoch on
+every change, and lets the placement logic route around failed devices:
+
+* an object's *acting set* is its CRUSH placement filtered to live OSDs
+  (with replacements drawn by rehashing, like CRUSH retries);
+* reads fall back to any acting replica holding the data (degraded
+  reads);
+* :meth:`recover` re-replicates under-replicated objects onto their new
+  acting members, paying real network and device costs.
+
+The paper leaves backend fault tolerance to future work (§9) — this
+module makes the substrate whole enough to test that direction.
+"""
+
+from repro.common.errors import FsError
+from repro.metrics import MetricSet
+
+__all__ = ["Monitor"]
+
+
+class Monitor(object):
+    """Tracks OSD liveness and drives recovery."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.epoch = 1
+        self._down = set()
+        self.metrics = MetricSet("monitor")
+
+    # -- liveness --------------------------------------------------------
+
+    def is_up(self, osd_id):
+        return osd_id not in self._down
+
+    def up_osds(self):
+        return [
+            osd_id for osd_id in range(len(self.cluster.osds))
+            if self.is_up(osd_id)
+        ]
+
+    def mark_down(self, osd_id):
+        """Declare an OSD failed; future placements route around it."""
+        if osd_id not in self._down:
+            self._down.add(osd_id)
+            self.epoch += 1
+            self.cluster.sim.trace("mon", "osd_down", osd=osd_id,
+                                   epoch=self.epoch)
+            self.metrics.counter("osd_failures").add(1)
+
+    def mark_up(self, osd_id):
+        """Bring an OSD back (empty — recovery must refill it)."""
+        if osd_id in self._down:
+            self._down.discard(osd_id)
+            self.epoch += 1
+
+    # -- placement under failure ------------------------------------------------
+
+    def acting_set(self, ino, index):
+        """The live OSDs responsible for an object, primary first."""
+        crush = self.cluster.crush
+        chosen = []
+        attempt = 0
+        # Same CRUSH retry walk, but skipping down devices.
+        while len(chosen) < crush.replicas and attempt < 64:
+            osd_id = crush._hash(ino, index, attempt) % crush.num_osds
+            attempt += 1
+            if osd_id in chosen or not self.is_up(osd_id):
+                continue
+            chosen.append(osd_id)
+        if not chosen:
+            raise FsError("no OSD available for (%d,%d)" % (ino, index))
+        return chosen
+
+    def holders(self, ino, index):
+        """Live OSDs that currently store the object (degraded reads)."""
+        return [
+            osd_id for osd_id in self.up_osds()
+            if self.cluster.osds[osd_id].object_size(ino, index) > 0
+            or (ino, index) in self.cluster.osds[osd_id]._objects
+        ]
+
+    # -- recovery ----------------------------------------------------------------
+
+    def under_replicated(self):
+        """Objects whose acting set lacks a copy: [(ino, index, missing)]."""
+        out = []
+        seen = set()
+        for osd in self.cluster.osds:
+            for key in osd._objects:
+                if key in seen:
+                    continue
+                seen.add(key)
+                ino, index = key
+                acting = self.acting_set(ino, index)
+                holders = set(self.holders(ino, index))
+                missing = [m for m in acting if m not in holders]
+                if missing and holders:
+                    out.append((ino, index, missing))
+        return out
+
+    def recover(self):
+        """Re-replicate every under-replicated object; sim generator.
+
+        Copies flow from a surviving holder to each missing acting member
+        over the fabric with full OSD write costs (journal + store).
+        """
+        moved = 0
+        for ino, index, missing in self.under_replicated():
+            holders = self.holders(ino, index)
+            if not holders:
+                continue  # data loss: nothing to copy from
+            source = self.cluster.osds[holders[0]]
+            data = bytes(source._objects[(ino, index)])
+            for osd_id in missing:
+                target = self.cluster.osds[osd_id]
+                yield from self.cluster.fabric.rpc(
+                    target.write(ino, index, 0, data),
+                    send_bytes=len(data), recv_bytes=0,
+                )
+                moved += len(data)
+        self.cluster.sim.trace("mon", "recovered", bytes=moved)
+        self.metrics.counter("recovered_bytes").add(moved)
+        return moved

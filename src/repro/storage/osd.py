@@ -1,0 +1,108 @@
+"""Object storage device: the Ceph OSD analogue.
+
+Each OSD owns a ramdisk-backed object store (the testbed stores OSD data
+and journal on 24 GB ramdisks) and serves a bounded number of concurrent
+operations. A write is journaled before it is applied — both land on the
+ramdisk, so writes pay roughly twice the device time of reads, which is
+one reason the paper's write workloads exercise the backend harder.
+
+Objects hold *real bytes*: the OSD store is the authoritative copy of all
+flushed file data in the simulation.
+"""
+
+from repro.common.errors import InvalidArgument
+from repro.hw.disk import RamDisk
+from repro.metrics import MetricSet
+from repro.sim.sync import Semaphore
+
+__all__ = ["Osd"]
+
+
+class Osd(object):
+    """One object storage daemon with journal + data on a ramdisk."""
+
+    def __init__(self, sim, osd_id, costs, device=None):
+        self.sim = sim
+        self.osd_id = osd_id
+        self.costs = costs
+        self.device = device if device is not None else RamDisk(
+            sim, name="osd%d.ram" % osd_id
+        )
+        self._slots = Semaphore(sim, costs.osd_concurrency, name="osd%d" % osd_id)
+        self._objects = {}  # (ino, index) -> bytearray
+        self._by_ino = {}  # ino -> set of indices
+        self.metrics = MetricSet("osd%d" % osd_id)
+
+    # -- server-side operations (sim generators) -------------------------
+
+    def read(self, ino, index, offset, size):
+        """Serve an object read; returns the bytes (b'' for a hole)."""
+        if offset < 0 or size < 0:
+            raise InvalidArgument("negative offset/size")
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.osd_op)
+            obj = self._objects.get((ino, index))
+            data = bytes(obj[offset:offset + size]) if obj is not None else b""
+            if data:
+                yield from self.device.transfer(len(data))
+        finally:
+            self._slots.release()
+        self.metrics.counter("reads").add(1)
+        self.metrics.counter("bytes_read").add(len(data))
+        return data
+
+    def write(self, ino, index, offset, data):
+        """Apply an object write: journal first, then the data store."""
+        if offset < 0:
+            raise InvalidArgument("negative offset")
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.osd_op)
+            # Journal append, then in-place data write.
+            yield from self.device.transfer(len(data), write=True)
+            yield from self.device.transfer(len(data), write=True)
+            key = (ino, index)
+            obj = self._objects.get(key)
+            if obj is None:
+                obj = self._objects[key] = bytearray()
+                self._by_ino.setdefault(ino, set()).add(index)
+            end = offset + len(data)
+            if offset > len(obj):
+                obj.extend(b"\x00" * (offset - len(obj)))
+            obj[offset:end] = data
+        finally:
+            self._slots.release()
+        self.metrics.counter("writes").add(1)
+        self.metrics.counter("bytes_written").add(len(data))
+        return len(data)
+
+    def truncate(self, ino, index, size):
+        """Truncate one object (used by file truncation)."""
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.osd_op)
+            obj = self._objects.get((ino, index))
+            if obj is not None:
+                del obj[size:]
+        finally:
+            self._slots.release()
+
+    # -- maintenance (no cost: background purge) -----------------------------
+
+    def purge_ino(self, ino):
+        """Drop every object of ``ino`` (async purge after unlink)."""
+        for index in self._by_ino.pop(ino, set()):
+            self._objects.pop((ino, index), None)
+
+    def object_size(self, ino, index):
+        obj = self._objects.get((ino, index))
+        return len(obj) if obj is not None else 0
+
+    @property
+    def stored_bytes(self):
+        return sum(len(obj) for obj in self._objects.values())
+
+    @property
+    def object_count(self):
+        return len(self._objects)

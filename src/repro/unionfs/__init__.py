@@ -1,0 +1,5 @@
+"""Union filesystem: stacked branches, copy-on-write, whiteouts."""
+
+from repro.unionfs.union import Branch, UnionFs, WHITEOUT_PREFIX
+
+__all__ = ["Branch", "UnionFs", "WHITEOUT_PREFIX"]

@@ -1,0 +1,31 @@
+"""Workload generators mirroring the paper's Table 2."""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.fileserver import Fileserver
+from repro.workloads.filescale import Fileappend, Fileread
+from repro.workloads.lighttpd import LighttpdFleet, start_lighttpd
+from repro.workloads.randomio import RandomIO
+from repro.workloads.rocksdb import MiniRocksDB, RocksDbGet, RocksDbPut
+from repro.workloads.seqio import Seqread, Seqwrite
+from repro.workloads.serverless import ServerlessTenant
+from repro.workloads.sysbench import SysbenchCpu
+from repro.workloads.webserver import Webserver
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "Fileserver",
+    "Fileappend",
+    "Fileread",
+    "LighttpdFleet",
+    "start_lighttpd",
+    "RandomIO",
+    "MiniRocksDB",
+    "RocksDbGet",
+    "RocksDbPut",
+    "Seqread",
+    "Seqwrite",
+    "ServerlessTenant",
+    "SysbenchCpu",
+    "Webserver",
+]

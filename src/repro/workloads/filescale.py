@@ -1,0 +1,63 @@
+"""Fileappend and Fileread: the paper's own scaleup micro-workloads.
+
+High-data / low-metadata benchmarks run inside cloned containers over a
+union with a shared lower branch (§6.3.2, Fig. 11):
+
+* **Fileappend** opens a large shared file ``O_WRONLY|O_APPEND``, writes
+  1 MB and closes it. The copy-on-write union must first copy the whole
+  file up to the private branch, so the generated I/O is ~50/50
+  read/write — the union tax in its purest form.
+* **Fileread** opens the shared file ``O_RDONLY``, reads it fully in 1 MB
+  blocks, and closes it. Pure shared-read: what matters is who caches the
+  single shared copy, and once.
+"""
+
+from repro.fs.api import OpenFlags
+from repro.workloads.base import Workload
+
+__all__ = ["Fileappend", "Fileread"]
+
+
+class Fileappend(Workload):
+    """Open a shared file O_APPEND, append ``append_size``, close."""
+
+    name = "fileappend"
+
+    def __init__(self, fs, pool, path="/shared.bin", append_size=1 << 20,
+                 seed=0):
+        super().__init__(fs, pool, duration=None, threads=1, seed=seed)
+        self.path = path
+        self.append_size = append_size
+
+    def worker(self, task, worker_id, rng):
+        handle = yield from self.timed_op(
+            self.fs.open(task, self.path, OpenFlags.WRONLY | OpenFlags.APPEND)
+        )
+        data = self.payload(self.append_size, "append")
+        yield from self.timed_op(self.fs.write(task, handle, 0, data))
+        self.result.bytes_written += len(data)
+        yield from self.timed_op(self.fs.close(task, handle))
+
+
+class Fileread(Workload):
+    """Open the shared file, stream it fully in ``iosize`` blocks, close."""
+
+    name = "fileread"
+
+    def __init__(self, fs, pool, path="/shared.bin", iosize=1 << 20, seed=0):
+        super().__init__(fs, pool, duration=None, threads=1, seed=seed)
+        self.path = path
+        self.iosize = iosize
+
+    def worker(self, task, worker_id, rng):
+        handle = yield from self.timed_op(self.fs.open(task, self.path))
+        offset = 0
+        while True:
+            data = yield from self.timed_op(
+                self.fs.read(task, handle, offset, self.iosize)
+            )
+            if not data:
+                break
+            offset += len(data)
+            self.result.bytes_read += len(data)
+        yield from self.timed_op(self.fs.close(task, handle))

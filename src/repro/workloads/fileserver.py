@@ -1,0 +1,116 @@
+"""Filebench Fileserver (FLS): the paper's primary contention workload.
+
+Emulates a simple file server: a personality mixing whole-file writes,
+appends, whole-file reads, deletes and stats over a directory of files
+with a given mean size (Filebench's ``fileserver.f``). The paper runs it
+with 5 MB mean size and 1000 files over Ceph; we keep the op mix and the
+files-per-thread ratio and scale byte sizes (recorded per experiment).
+"""
+
+from repro.common.errors import FsError
+from repro.fs.api import OpenFlags
+from repro.workloads.base import Workload
+
+__all__ = ["Fileserver"]
+
+
+class Fileserver(Workload):
+    """create/write -> open/append -> open/read -> delete -> stat mix."""
+
+    name = "fileserver"
+
+    def __init__(self, fs, pool, duration=20.0, threads=8, nfiles=100,
+                 mean_size=64 * 1024, append_size=16 * 1024, iosize=64 * 1024,
+                 seed=0, directory="/flsdata"):
+        super().__init__(fs, pool, duration=duration, threads=threads, seed=seed)
+        self.nfiles = nfiles
+        self.mean_size = mean_size
+        self.append_size = append_size
+        self.iosize = iosize
+        self.directory = directory
+
+    def _file_path(self, index):
+        return "%s/f%05d" % (self.directory, index)
+
+    def _file_size(self, rng):
+        # Filebench uses a gamma distribution around the mean; a uniform
+        # 0.5x-1.5x band keeps the same mean with bounded memory.
+        return max(int(self.mean_size * rng.uniform(0.5, 1.5)), 4096)
+
+    def setup(self, task):
+        yield from self.fs.makedirs(task, self.directory)
+        # Pre-populate half the files so reads/deletes find work at once.
+        for index in range(0, self.nfiles, 2):
+            data = self.payload(self._file_size_from_index(index), index)
+            yield from self.fs.write_file(task, self._file_path(index), data)
+
+    def _file_size_from_index(self, index):
+        from repro.common.rng import make_rng
+
+        return self._file_size(make_rng(self.seed, "fls-size", index))
+
+    def _write_whole(self, task, index, rng):
+        data = self.payload(self._file_size(rng), index)
+        yield from self.fs.write_file(task, self._file_path(index), data)
+        self.result.bytes_written += len(data)
+
+    def _append(self, task, index):
+        try:
+            handle = yield from self.fs.open(
+                task, self._file_path(index), OpenFlags.WRONLY | OpenFlags.APPEND
+            )
+        except FsError:
+            return
+        try:
+            data = self.payload(self.append_size, ("append", index))
+            yield from self.fs.write(task, handle, 0, data)
+            self.result.bytes_written += len(data)
+        finally:
+            yield from self.fs.close(task, handle)
+
+    def _read_whole(self, task, index):
+        try:
+            handle = yield from self.fs.open(task, self._file_path(index))
+        except FsError:
+            return
+        try:
+            offset = 0
+            while True:
+                data = yield from self.fs.read(task, handle, offset, self.iosize)
+                if not data:
+                    break
+                offset += len(data)
+                self.result.bytes_read += len(data)
+        finally:
+            yield from self.fs.close(task, handle)
+
+    def _delete(self, task, index):
+        try:
+            yield from self.fs.unlink(task, self._file_path(index))
+        except FsError:
+            pass
+
+    def _stat(self, task, index):
+        try:
+            yield from self.fs.stat(task, self._file_path(index))
+        except FsError:
+            pass
+
+    def worker(self, task, worker_id, rng):
+        while not self.expired:
+            index = rng.randrange(self.nfiles)
+            yield from self.timed_op(self._write_whole(task, index, rng))
+            if self.expired:
+                break
+            index = rng.randrange(self.nfiles)
+            yield from self.timed_op(self._append(task, index))
+            if self.expired:
+                break
+            index = rng.randrange(self.nfiles)
+            yield from self.timed_op(self._read_whole(task, index))
+            if self.expired:
+                break
+            index = rng.randrange(self.nfiles)
+            yield from self.timed_op(self._delete(task, index))
+            index = rng.randrange(self.nfiles)
+            yield from self.timed_op(self._stat(task, index))

@@ -1,0 +1,400 @@
+"""A miniature RocksDB: LSM key-value store over a mounted filesystem.
+
+Reproduces the I/O *pattern* of the paper's RocksDB experiments (§6.3.1):
+
+* ``put``: append to a write-ahead log, insert into the memtable; a full
+  memtable is flushed in the background to a sorted-string-table (SST)
+  file; too many L0 SSTs trigger a compaction that reads several tables
+  and writes a merged one. Net effect: sequential writes plus periodic
+  read-modify-write bursts — exactly what stresses write-behind caching
+  and kernel writeback.
+* ``get``: memtable, then SSTs newest-first via their in-memory indexes —
+  random reads that, out-of-core, miss the cache and hit the backend.
+
+The store is fully functional: values round-trip bit-exactly through the
+WAL/memtable/SST machinery.
+"""
+
+from collections import deque
+
+from repro.fs.api import OpenFlags
+from repro.sim.sync import Semaphore
+from repro.workloads.base import Workload
+
+__all__ = ["MiniRocksDB", "RocksDbPut", "RocksDbGet"]
+
+
+class _SsTable(object):
+    """One on-disk sorted table plus its in-memory index."""
+
+    __slots__ = ("path", "index", "size", "sequence")
+
+    def __init__(self, path, index, size, sequence):
+        self.path = path
+        self.index = index  # key -> (offset, length)
+        self.size = size
+        # Ordering epoch: higher sequences hold newer versions of a key.
+        self.sequence = sequence
+
+
+class MiniRocksDB(object):
+    """LSM store: WAL + memtable + levelled SSTs + background jobs."""
+
+    #: Write stall threshold: puts block while this many immutable
+    #: memtables await flushing (RocksDB's max_write_buffer_number).
+    MAX_IMMUTABLES = 2
+
+    def __init__(self, fs, pool, directory="/rocksdb",
+                 memtable_bytes=4 * 1024 * 1024, compaction_threads=2,
+                 l0_compaction_trigger=4, sync_sst=False, wal_sync=False):
+        self.fs = fs
+        self.pool = pool
+        self.sim = pool.sim
+        self.directory = directory
+        self.memtable_limit = memtable_bytes
+        self.l0_trigger = l0_compaction_trigger
+        # RocksDB's default durability: SST writes rely on OS writeback
+        # (no fsync on the hot path); sync_sst=True forces it. wal_sync
+        # makes each put durable (WriteOptions.sync) — the configuration
+        # whose per-put latency actually exercises the client I/O path,
+        # which is what Fig. 7's large per-client differences imply.
+        self.sync_sst = sync_sst
+        self.wal_sync = wal_sync
+        self._stall_waiters = []
+        self.memtable = {}
+        self.memtable_size = 0
+        self.immutables = deque()  # flushed-pending memtables
+        self.sstables = []  # newest first (descending sequence)
+        self._next_file = 0  # SST filename counter
+        self._next_seq = 0  # key-version ordering epoch
+        self._wal_seq = 0
+        self._wal_handle = None
+        self._wal_offset = 0
+        self._background = Semaphore(self.sim, compaction_threads, name="rdb-bg")
+        self._pending_jobs = []
+        self.stats = {"flushes": 0, "compactions": 0, "wal_bytes": 0}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self, task):
+        """Open (or recover) the store.
+
+        Recovery mirrors RocksDB's startup: registered SST files are
+        re-indexed from their persisted index blocks and surviving WAL
+        records are replayed into a fresh memtable — so a store reopened
+        by another process (or on another host after a migration) serves
+        every durable key.
+        """
+        yield from self.fs.makedirs(task, self.directory)
+        yield from self._recover(task)
+        yield from self._open_wal(task)
+
+    def _recover(self, task):
+        if self.sstables or self.memtable:
+            return  # already live in this instance
+        names = yield from self.fs.readdir(task, self.directory)
+        # 1. SSTs: the persisted index block carries the ordering epoch.
+        for name in (n for n in names if n.endswith(".sst")):
+            path = "%s/%s" % (self.directory, name)
+            index_blob = yield from self.fs.read_file(task, path + ".idx")
+            if not index_blob:
+                continue
+            lines = index_blob.decode("utf-8").splitlines()
+            sequence = int(lines[0].split()[1])  # "#seq N" header
+            index = {}
+            size = 0
+            for line in lines[1:]:
+                key, offset, length = line.rsplit(" ", 2)
+                index[key] = (int(offset), int(length))
+                size += int(length)
+            self._register_sst(_SsTable(path, index, size, sequence))
+            self._next_seq = max(self._next_seq, sequence)
+            fileno = int(name[len("sst-"):-len(".sst")])
+            self._next_file = max(self._next_file, fileno)
+        # 2. WAL replay: oldest first so newer records win.
+        wals = sorted(n for n in names if n.startswith("wal-"))
+        for name in wals:
+            blob = yield from self.fs.read_file(
+                task, "%s/%s" % (self.directory, name)
+            )
+            position = 0
+            while position + 8 <= len(blob):
+                key_len = int.from_bytes(blob[position:position + 4], "big")
+                value_len = int.from_bytes(blob[position + 4:position + 8], "big")
+                start = position + 8
+                end = start + key_len + value_len
+                if end > len(blob):
+                    break  # torn tail record
+                key = blob[start:start + key_len].decode("utf-8")
+                value = bytes(blob[start + key_len:end])
+                self.memtable[key] = value
+                self.memtable_size += end - position
+                position = end
+            sequence = int(name[len("wal-"):-len(".log")])
+            self._wal_seq = max(self._wal_seq, sequence)
+
+    def _open_wal(self, task):
+        self._wal_seq += 1
+        path = "%s/wal-%06d.log" % (self.directory, self._wal_seq)
+        self._wal_path = path
+        self._wal_handle = yield from self.fs.open(
+            task, path, OpenFlags.CREAT | OpenFlags.WRONLY | OpenFlags.TRUNC
+        )
+        self._wal_offset = 0
+
+    def close(self, task):
+        """Flush everything and wait for background jobs."""
+        if self.memtable:
+            yield from self._rotate(task)
+        while self._pending_jobs:
+            jobs, self._pending_jobs = self._pending_jobs, []
+            yield self.sim.all_of(jobs)
+        if self._wal_handle is not None:
+            yield from self.fs.close(task, self._wal_handle)
+            self._wal_handle = None
+
+    # -- write path ------------------------------------------------------------
+
+    def _encode(self, key, value):
+        key_bytes = key if isinstance(key, bytes) else key.encode()
+        header = len(key_bytes).to_bytes(4, "big") + len(value).to_bytes(4, "big")
+        return header + key_bytes + value
+
+    def put(self, task, key, value):
+        """Insert/overwrite one pair; sim generator.
+
+        Stalls (like RocksDB's write stalls) while too many immutable
+        memtables are waiting on background flushes — this is how slow
+        backend flushing surfaces in put latency.
+        """
+        while len(self.immutables) >= self.MAX_IMMUTABLES:
+            stall = self.sim.event(name="rdb-stall")
+            self._stall_waiters.append(stall)
+            yield stall
+        record = self._encode(key, value)
+        yield from self.fs.write(task, self._wal_handle, self._wal_offset, record)
+        if self.wal_sync:
+            yield from self.fs.fsync(task, self._wal_handle)
+        self._wal_offset += len(record)
+        self.stats["wal_bytes"] += len(record)
+        self.memtable[key] = value
+        self.memtable_size += len(record)
+        if self.memtable_size >= self.memtable_limit:
+            yield from self._rotate(task)
+
+    def _rotate(self, task):
+        frozen = self.memtable
+        self.memtable = {}
+        self.memtable_size = 0
+        self.immutables.append(frozen)
+        retired_wal = self._wal_path
+        # The ordering epoch is fixed at freeze time: concurrent background
+        # flushes may complete out of order, but key versions may not.
+        self._next_seq += 1
+        sequence = self._next_seq
+        yield from self.fs.close(task, self._wal_handle)
+        yield from self._open_wal(task)
+        job_task = self.pool.new_task("rdb.flush")
+        self._pending_jobs.append(
+            self.sim.spawn(
+                self._flush_job(job_task, frozen, sequence, retired_wal),
+                name="rdb-flush",
+            )
+        )
+
+    def _flush_job(self, task, frozen, sequence, retired_wal=None):
+        from repro.common.errors import FsError
+
+        yield self._background.acquire()
+        try:
+            yield from self._write_sst(task, frozen, sequence)
+            self.stats["flushes"] += 1
+            if retired_wal is not None:
+                # The WAL's records are durable in the SST now; keeping it
+                # would let recovery replay stale values over newer data.
+                try:
+                    yield from self.fs.unlink(task, retired_wal)
+                except FsError:
+                    pass
+            if self._l0_count() >= self.l0_trigger:
+                yield from self._compact(task)
+        finally:
+            self._background.release()
+            if frozen in self.immutables:
+                self.immutables.remove(frozen)
+            waiters, self._stall_waiters = self._stall_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def _register_sst(self, table):
+        """Insert keeping the newest-first (descending sequence) order."""
+        position = 0
+        while (position < len(self.sstables)
+               and self.sstables[position].sequence > table.sequence):
+            position += 1
+        self.sstables.insert(position, table)
+
+    def _write_sst(self, task, table, sequence):
+        self._next_file += 1
+        path = "%s/sst-%06d.sst" % (self.directory, self._next_file)
+        handle = yield from self.fs.open(
+            task, path, OpenFlags.CREAT | OpenFlags.WRONLY | OpenFlags.TRUNC
+        )
+        index = {}
+        offset = 0
+        try:
+            for key in sorted(table):
+                value = table[key]
+                yield from self.fs.write(task, handle, offset, value)
+                index[key] = (offset, len(value))
+                offset += len(value)
+            if self.sync_sst:
+                yield from self.fs.fsync(task, handle)
+        finally:
+            yield from self.fs.close(task, handle)
+        # Persist the index block (with the ordering epoch) so a reopened
+        # store can recover the SST.
+        index_blob = ("#seq %d\n" % sequence + "\n".join(
+            "%s %d %d" % (key, off, length)
+            for key, (off, length) in sorted(index.items())
+        )).encode("utf-8")
+        yield from self.fs.write_file(task, path + ".idx", index_blob)
+        self._register_sst(_SsTable(path, index, offset, sequence))
+        return path
+
+    def _l0_count(self):
+        return len(self.sstables)
+
+    def _compact(self, task):
+        """Merge the oldest half of the tables into one."""
+        if len(self.sstables) < 2:
+            return
+        victims = self.sstables[len(self.sstables) // 2:]
+        self.sstables = self.sstables[:len(self.sstables) // 2]
+        merged = {}
+        for table in reversed(victims):  # oldest first; newer keys win
+            handle = yield from self.fs.open(task, table.path)
+            try:
+                for key, (offset, length) in table.index.items():
+                    value = yield from self.fs.read(task, handle, offset, length)
+                    merged[key] = value
+            finally:
+                yield from self.fs.close(task, handle)
+        # The merged table inherits the newest victim epoch: it is newer
+        # than everything it absorbed and older than every survivor.
+        yield from self._write_sst(
+            task, merged, max(table.sequence for table in victims)
+        )
+        from repro.common.errors import FsError
+
+        for table in victims:
+            yield from self.fs.unlink(task, table.path)
+            try:
+                yield from self.fs.unlink(task, table.path + ".idx")
+            except FsError:
+                pass
+        self.stats["compactions"] += 1
+
+    # -- read path ----------------------------------------------------------------
+
+    def get(self, task, key):
+        """Point lookup; sim generator returning the value or None."""
+        if key in self.memtable:
+            return self.memtable[key]
+        for frozen in reversed(self.immutables):
+            if key in frozen:
+                return frozen[key]
+        for table in self.sstables:
+            entry = table.index.get(key)
+            if entry is None:
+                continue
+            offset, length = entry
+            handle = yield from self.fs.open(task, table.path)
+            try:
+                value = yield from self.fs.read(task, handle, offset, length)
+            finally:
+                yield from self.fs.close(task, handle)
+            return value
+        return None
+
+
+class RocksDbPut(Workload):
+    """The paper's put workload: one thread inserting random pairs."""
+
+    name = "rocksdb-put"
+
+    def __init__(self, fs, pool, total_bytes=16 * 1024 * 1024,
+                 value_size=128 * 1024, threads=1, seed=0,
+                 directory="/rocksdb", memtable_bytes=4 * 1024 * 1024,
+                 wal_sync=True):
+        super().__init__(fs, pool, duration=None, threads=threads, seed=seed)
+        self.total_bytes = total_bytes
+        self.value_size = value_size
+        self.db = MiniRocksDB(
+            fs, pool, directory=directory, memtable_bytes=memtable_bytes,
+            wal_sync=wal_sync,
+        )
+        self._inserted = 0
+
+    def setup(self, task):
+        yield from self.db.open(task)
+
+    def worker(self, task, worker_id, rng):
+        per_thread = self.total_bytes // self.threads
+        written = 0
+        while written < per_thread:
+            key = "k%09d" % rng.randrange(10 ** 9)
+            value = self.payload(self.value_size, ("v", worker_id, written))
+            yield from self.timed_op(self.db.put(task, key, value))
+            written += self.value_size
+            self.result.bytes_written += self.value_size
+            self._inserted += 1
+        if worker_id == 0:
+            yield from self.db.close(task)
+
+
+class RocksDbGet(Workload):
+    """Out-of-core read workload: populate, then random gets."""
+
+    name = "rocksdb-get"
+
+    def __init__(self, fs, pool, populate_bytes=16 * 1024 * 1024,
+                 read_bytes=None, value_size=128 * 1024, threads=1, seed=0,
+                 directory="/rocksdb", memtable_bytes=4 * 1024 * 1024):
+        super().__init__(fs, pool, duration=None, threads=threads, seed=seed)
+        self.populate_bytes = populate_bytes
+        self.read_bytes = read_bytes if read_bytes is not None else populate_bytes
+        self.value_size = value_size
+        self.db = MiniRocksDB(
+            fs, pool, directory=directory, memtable_bytes=memtable_bytes
+        )
+        self.keys = []
+
+    def setup(self, task):
+        yield from self.db.open(task)
+        written = 0
+        index = 0
+        while written < self.populate_bytes:
+            key = "k%09d" % index
+            index += 1
+            value = self.payload(self.value_size, ("p", index))
+            yield from self.db.put(task, key, value)
+            self.keys.append(key)
+            written += self.value_size
+        yield from self.db.close(task)
+        yield from self.db.open(task)
+
+    def worker(self, task, worker_id, rng):
+        per_thread = self.read_bytes // self.threads
+        read = 0
+        while read < per_thread:
+            key = self.keys[rng.randrange(len(self.keys))]
+            value = yield from self.timed_op(self.db.get(task, key))
+            if value is not None:
+                read += len(value)
+                self.result.bytes_read += len(value)
+            else:
+                self.result.errors += 1
+                read += self.value_size
+        if worker_id == 0:
+            yield from self.db.close(task)

@@ -1,0 +1,35 @@
+"""Sysbench CPU (SSB): a purely compute-bound neighbour.
+
+Two threads compute primes over 64-bit integers; each request is a fixed
+amount of CPU work on the pool's cores, and the metric is request latency
+(the paper reports the 99th percentile). SSB does no I/O at all — if its
+latency still degrades when a kernel-served Fileserver is colocated, the
+cause can only be the kernel stealing its reserved cores (Fig. 6c).
+"""
+
+from repro.workloads.base import Workload
+
+__all__ = ["SysbenchCpu"]
+
+
+class SysbenchCpu(Workload):
+    """Fixed-size CPU requests; latency is the primary metric."""
+
+    name = "sysbench"
+
+    def __init__(self, pool, duration=20.0, threads=2,
+                 request_cpu=0.002, seed=0):
+        # No filesystem involved: fs is None by design.
+        super().__init__(None, pool, duration=duration, threads=threads, seed=seed)
+        self.request_cpu = request_cpu
+
+    def setup(self, task):
+        return
+        yield  # pragma: no cover
+
+    def _one_request(self, task):
+        yield from task.cpu(self.request_cpu)
+
+    def worker(self, task, worker_id, rng):
+        while not self.expired:
+            yield from self.timed_op(self._one_request(task))

@@ -1,0 +1,61 @@
+"""Unit tests for the experiment harness and the workload registry."""
+
+import pytest
+
+from repro.bench import COMPOSITES, WORKLOADS, describe, workload_class
+from repro.bench.harness import ExperimentResult
+from repro.workloads import Fileserver
+
+
+def test_result_rows_and_columns():
+    result = ExperimentResult("x", "test")
+    result.add_row(symbol="D", value=1.0)
+    result.add_row(symbol="K", value=2.0)
+    assert result.column("value") == [1.0, 2.0]
+    assert result.rows_where(symbol="K")[0]["value"] == 2.0
+
+
+def test_result_value_unique_match():
+    result = ExperimentResult("x", "test")
+    result.add_row(symbol="D", n=1, value=1.0)
+    result.add_row(symbol="D", n=2, value=2.0)
+    assert result.value("value", symbol="D", n=2) == 2.0
+    with pytest.raises(KeyError):
+        result.value("value", symbol="D")  # ambiguous
+    with pytest.raises(KeyError):
+        result.value("value", symbol="Z")  # no match
+
+
+def test_result_table_renders_all_columns():
+    result = ExperimentResult("x", "test")
+    result.add_row(a=1, b="hi")
+    result.add_row(a=2, c=3.14159)
+    table = result.table()
+    assert "a" in table and "b" in table and "c" in table
+    assert "3.14" in table
+
+
+def test_result_report_includes_expectation_and_notes():
+    result = ExperimentResult("figX", "demo", paper_expectation="D wins")
+    result.add_row(v=1)
+    result.note("extra context")
+    report = result.report()
+    assert "figX" in report
+    assert "D wins" in report
+    assert "extra context" in report
+
+
+def test_empty_result_table():
+    assert ExperimentResult("x", "t").table() == "(no rows)"
+
+
+def test_registry_has_all_table2_symbols():
+    for symbol in ("FLS", "RND", "SSB", "WBS"):
+        assert symbol in WORKLOADS
+    assert "X+Y" in COMPOSITES
+
+
+def test_registry_lookup():
+    assert "Fileserver" in describe("FLS")
+    assert workload_class("FLS") is Fileserver
+    assert "next to" in describe("X+Y")

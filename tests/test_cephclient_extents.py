@@ -1,0 +1,230 @@
+"""Unit and property tests for the dirty extent buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cephclient import ExtentBuffer
+from repro.common.errors import InvalidArgument
+
+
+def test_empty_buffer_is_falsy():
+    buffer = ExtentBuffer()
+    assert not buffer
+    assert buffer.dirty_bytes == 0
+    assert buffer.max_end() == 0
+
+
+def test_single_write():
+    buffer = ExtentBuffer()
+    buffer.write(10, b"abc")
+    assert buffer.dirty_bytes == 3
+    assert buffer.extents() == [(10, b"abc")]
+    assert buffer.max_end() == 13
+
+
+def test_disjoint_writes_stay_separate():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"aa")
+    buffer.write(10, b"bb")
+    assert buffer.extents() == [(0, b"aa"), (10, b"bb")]
+    assert buffer.dirty_bytes == 4
+
+
+def test_overlapping_writes_merge():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"aaaa")
+    buffer.write(2, b"bbbb")
+    assert buffer.extents() == [(0, b"aabbbb")]
+    assert buffer.dirty_bytes == 6
+
+
+def test_adjacent_writes_merge():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"aa")
+    buffer.write(2, b"bb")
+    assert buffer.extents() == [(0, b"aabb")]
+
+
+def test_write_bridging_extents():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"aa")
+    buffer.write(6, b"cc")
+    buffer.write(1, b"bbbbbb")  # covers the gap and both edges
+    assert buffer.extents() == [(0, b"abbbbbbc")]
+    assert buffer.dirty_bytes == 8
+
+
+def test_later_write_wins():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"xxxx")
+    buffer.write(1, b"YY")
+    assert buffer.extents() == [(0, b"xYYx")]
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(InvalidArgument):
+        ExtentBuffer().write(-1, b"a")
+
+
+def test_empty_write_is_noop():
+    buffer = ExtentBuffer()
+    buffer.write(5, b"")
+    assert not buffer
+
+
+def test_overlay_applies_dirty_data():
+    buffer = ExtentBuffer()
+    buffer.write(2, b"XY")
+    assert buffer.overlay(0, 6, b"aaaaaa") == b"aaXYaa"
+
+
+def test_overlay_extends_past_base():
+    buffer = ExtentBuffer()
+    buffer.write(4, b"ZZ")
+    assert buffer.overlay(0, 6, b"ab") == b"ab\x00\x00ZZ"
+
+
+def test_overlay_window_clips_extent():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"ABCDEF")
+    assert buffer.overlay(2, 2, b"xy") == b"CD"
+
+
+def test_take_all():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"aa")
+    buffer.write(10, b"bb")
+    taken = buffer.take()
+    assert taken == [(0, b"aa"), (10, b"bb")]
+    assert not buffer
+    assert buffer.dirty_bytes == 0
+
+
+def test_take_respects_budget():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"aaaa")
+    buffer.write(10, b"bbbb")
+    taken = buffer.take(max_bytes=4)
+    assert taken == [(0, b"aaaa")]
+    assert buffer.extents() == [(10, b"bbbb")]
+
+
+def test_take_returns_at_least_one_extent():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"a" * 100)
+    taken = buffer.take(max_bytes=1)
+    assert taken == [(0, b"a" * 100)]
+
+
+def test_clear():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"data")
+    buffer.clear()
+    assert not buffer
+    assert buffer.dirty_bytes == 0
+
+
+# --- property tests: the buffer must behave exactly like a sparse file -------
+
+@st.composite
+def write_sequences(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    writes = []
+    for _ in range(count):
+        offset = draw(st.integers(min_value=0, max_value=64))
+        size = draw(st.integers(min_value=1, max_value=32))
+        byte = draw(st.integers(min_value=1, max_value=255))
+        writes.append((offset, bytes([byte]) * size))
+    return writes
+
+
+@settings(max_examples=200, deadline=None)
+@given(write_sequences())
+def test_property_buffer_matches_reference_model(writes):
+    """The extent buffer's overlay equals a flat reference byte array."""
+    buffer = ExtentBuffer()
+    reference = bytearray()
+    written = set()
+    for offset, data in writes:
+        buffer.write(offset, data)
+        end = offset + len(data)
+        if end > len(reference):
+            reference.extend(b"\x00" * (end - len(reference)))
+        reference[offset:end] = data
+        written.update(range(offset, end))
+    window = len(reference) + 8
+    overlay = buffer.overlay(0, window, b"\x00" * window)
+    for position in written:
+        assert overlay[position] == reference[position]
+    # Dirty byte accounting covers at least every written position and the
+    # extents are sorted and non-overlapping.
+    extents = buffer.extents()
+    assert buffer.dirty_bytes == sum(len(d) for _o, d in extents)
+    previous_end = -1
+    for offset, data in extents:
+        assert offset > previous_end
+        previous_end = offset + len(data) - 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(write_sequences(), st.integers(min_value=1, max_value=64))
+def test_property_take_preserves_content(writes, budget):
+    """Draining via take() reproduces the same bytes as overlay()."""
+    buffer = ExtentBuffer()
+    for offset, data in writes:
+        buffer.write(offset, data)
+    window = buffer.max_end()
+    expected = buffer.overlay(0, window, b"\x00" * window)
+    rebuilt = bytearray(window)
+    while buffer:
+        for offset, data in buffer.take(max_bytes=budget):
+            rebuilt[offset:offset + len(data)] = data
+    assert bytes(rebuilt) == expected
+
+
+def test_truncate_drops_tail_keeps_head():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"abcdef")
+    buffer.write(10, b"gone")
+    freed = buffer.truncate(4)
+    assert freed == 2 + 4  # 'ef' plus the whole tail extent
+    assert buffer.extents() == [(0, b"abcd")]
+    assert buffer.dirty_bytes == 4
+
+
+def test_truncate_beyond_end_is_noop():
+    buffer = ExtentBuffer()
+    buffer.write(0, b"abc")
+    assert buffer.truncate(10) == 0
+    assert buffer.extents() == [(0, b"abc")]
+
+
+def test_truncate_to_zero_clears():
+    buffer = ExtentBuffer()
+    buffer.write(5, b"xyz")
+    assert buffer.truncate(0) == 3
+    assert not buffer
+
+
+@settings(max_examples=100, deadline=None)
+@given(write_sequences(), st.integers(min_value=0, max_value=80))
+def test_property_truncate_matches_reference(writes, cut):
+    """truncate(size) leaves exactly the bytes below the cut."""
+    buffer = ExtentBuffer()
+    reference = bytearray()
+    for offset, data in writes:
+        buffer.write(offset, data)
+        end = offset + len(data)
+        if end > len(reference):
+            reference.extend(b"\x00" * (end - len(reference)))
+        reference[offset:end] = data
+    before = buffer.dirty_bytes
+    freed = buffer.truncate(cut)
+    assert buffer.dirty_bytes == before - freed
+    window = max(len(reference), cut) + 4
+    overlay = buffer.overlay(0, window, b"\x00" * window)
+    assert overlay[cut:] == b"\x00" * (len(overlay) - cut)
+    # Bytes below the cut that were written survive unchanged.
+    for offset, data in buffer.extents():
+        assert bytes(reference[offset:offset + len(data)]) == data

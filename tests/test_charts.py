@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart, spark
+
+
+ROWS = [
+    {"symbol": "K", "ops": 22171.0, "pools": 1},
+    {"symbol": "D", "ops": 7243.0, "pools": 1},
+    {"symbol": "K", "ops": 1646.0, "pools": 4},
+    {"symbol": "D", "ops": 7242.0, "pools": 4},
+]
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart(ROWS[:2], "symbol", "ops", width=20)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    k_bar = lines[0].count("█")
+    d_bar = lines[1].count("█")
+    assert k_bar == 20  # the peak fills the width
+    assert 5 <= d_bar <= 8  # ~7243/22171 of 20
+
+
+def test_bar_chart_includes_labels_and_values():
+    chart = bar_chart(ROWS[:2], "symbol", "ops")
+    assert "K" in chart and "D" in chart
+    assert "2.217e+04" in chart or "22171" in chart
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], "symbol", "ops") == "(no data)"
+
+
+def test_bar_chart_zero_peak():
+    chart = bar_chart([{"s": "x", "v": 0.0}], "s", "v")
+    assert "x" in chart  # no crash on all-zero data
+
+
+def test_grouped_bar_chart_separates_groups():
+    chart = grouped_bar_chart(ROWS, "pools", "symbol", "ops", width=10)
+    assert "pools = 1" in chart
+    assert "pools = 4" in chart
+    # Scaling is global: the pools=4 K bar is tiny vs the pools=1 K bar.
+    lines = chart.splitlines()
+    k1 = next(l for l in lines[1:3] if " K" in l or l.strip().startswith("K"))
+    assert k1.count("█") == 10
+
+
+def test_spark_shape():
+    line = spark([0, 1, 2, 3, 4, 5, 6, 7])
+    assert len(line) == 8
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_spark_flat_series():
+    assert spark([5, 5, 5]) == "▁▁▁"
+
+
+def test_spark_downsamples():
+    line = spark(list(range(100)), width=10)
+    assert len(line) == 10
+
+
+def test_spark_empty():
+    assert spark([]) == ""

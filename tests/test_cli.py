@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import experiment_names, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6a" in out
+    assert "FLS" in out
+    assert "D, K, F" in out
+
+
+def test_experiment_names_cover_every_figure():
+    names = experiment_names()
+    for expected in ("fig1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b",
+                     "fig7c", "fig7d", "fig8", "fig9w", "fig9r", "fig10",
+                     "fig11a", "fig11b", "abl-lock", "abl-ipc"):
+        assert expected in names
+
+
+def test_run_unknown_experiment_errors(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_run_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+@pytest.mark.slow
+def test_run_quick_fig11a(capsys):
+    assert main(["run", "fig11a", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fig11a" in out
+    assert "timespan_s" in out
+
+
+def test_chart_for_picks_primary_metric():
+    from repro.bench.harness import ExperimentResult
+    from repro.cli import _chart_for
+
+    result = ExperimentResult("x", "t")
+    result.add_row(symbol="K", neighbor="-", fls_ops_per_sec=22171.0)
+    result.add_row(symbol="D", neighbor="-", fls_ops_per_sec=7243.0)
+    chart = _chart_for(result)
+    assert chart.startswith("fls_ops_per_sec:")
+    assert "█" in chart
+    assert "K" in chart and "D" in chart
+
+
+def test_chart_for_handles_unchartable_results():
+    from repro.bench.harness import ExperimentResult
+    from repro.cli import _chart_for
+
+    empty = ExperimentResult("x", "t")
+    assert _chart_for(empty) is None
+    no_metric = ExperimentResult("y", "t")
+    no_metric.add_row(symbol="K", note="text only")
+    assert _chart_for(no_metric) is None

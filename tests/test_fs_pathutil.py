@@ -1,0 +1,69 @@
+"""Unit tests for path helpers."""
+
+import pytest
+
+from repro.common.errors import InvalidArgument
+from repro.fs import pathutil
+
+
+def test_normalize_collapses_slashes_and_dots():
+    assert pathutil.normalize("//a//b/./c") == "/a/b/c"
+
+
+def test_normalize_resolves_dotdot():
+    assert pathutil.normalize("/a/b/../c") == "/a/c"
+
+
+def test_normalize_dotdot_cannot_escape_root():
+    assert pathutil.normalize("/../../a") == "/a"
+
+
+def test_normalize_root():
+    assert pathutil.normalize("/") == "/"
+
+
+def test_normalize_rejects_relative():
+    with pytest.raises(InvalidArgument):
+        pathutil.normalize("a/b")
+
+
+def test_normalize_rejects_empty():
+    with pytest.raises(InvalidArgument):
+        pathutil.normalize("")
+
+
+def test_components():
+    assert pathutil.components("/a/b/c") == ["a", "b", "c"]
+    assert pathutil.components("/") == []
+
+
+def test_split():
+    assert pathutil.split("/a/b") == ("/a", "b")
+    assert pathutil.split("/a") == ("/", "a")
+    assert pathutil.split("/") == ("/", "")
+
+
+def test_join():
+    assert pathutil.join("/a", "b", "c") == "/a/b/c"
+    assert pathutil.join("/", "x") == "/x"
+    assert pathutil.join("/a/b", "../c") == "/a/c"
+
+
+def test_is_ancestor():
+    assert pathutil.is_ancestor("/a", "/a/b")
+    assert pathutil.is_ancestor("/a", "/a")
+    assert pathutil.is_ancestor("/", "/anything")
+    assert not pathutil.is_ancestor("/a", "/ab")
+
+
+def test_relative_to():
+    assert pathutil.relative_to("/mnt", "/mnt/a/b") == "/a/b"
+    assert pathutil.relative_to("/mnt", "/mnt") == "/"
+    assert pathutil.relative_to("/", "/a") == "/a"
+    with pytest.raises(InvalidArgument):
+        pathutil.relative_to("/mnt", "/other")
+
+
+def test_parent_and_basename():
+    assert pathutil.parent_of("/a/b/c") == "/a/b"
+    assert pathutil.basename("/a/b/c") == "c"

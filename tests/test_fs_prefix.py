@@ -1,0 +1,92 @@
+"""Tests for the subtree filesystem adapter."""
+
+import pytest
+
+from repro.common.errors import FileNotFound
+from repro.fs.prefix import SubtreeFs
+from repro.hw import RamDisk
+from repro.kernel import LocalFs
+from tests.conftest import make_task, run
+
+
+@pytest.fixture
+def backing(sim, kernel, machine):
+    fs = LocalFs(kernel, RamDisk(sim), name="backing")
+    task = make_task(sim, machine, "setup")
+
+    def populate():
+        yield from fs.makedirs(task, "/root/a/sub")
+        yield from fs.write_file(task, "/root/a/file", b"inside")
+        yield from fs.write_file(task, "/outside", b"secret")
+
+    run(sim, populate())
+    return fs, task
+
+
+def test_subtree_maps_paths(sim, backing):
+    fs, task = backing
+    view = SubtreeFs(fs, "/root/a")
+
+    def proc():
+        data = yield from view.read_file(task, "/file")
+        names = yield from view.readdir(task, "/")
+        return data, names
+
+    data, names = run(sim, proc())
+    assert data == b"inside"
+    assert names == ["file", "sub"]
+
+
+def test_subtree_cannot_escape_root(sim, backing):
+    fs, task = backing
+    view = SubtreeFs(fs, "/root/a")
+
+    def proc():
+        with pytest.raises(FileNotFound):
+            yield from view.stat(task, "/../../outside")
+        return True
+
+    # '..' is resolved lexically inside the subtree, so the mapped path is
+    # /root/a/outside, which does not exist.
+    assert run(sim, proc())
+
+
+def test_subtree_writes_land_under_root(sim, backing):
+    fs, task = backing
+    view = SubtreeFs(fs, "/root/a")
+
+    def proc():
+        yield from view.write_file(task, "/new", b"payload")
+        return (yield from fs.read_file(task, "/root/a/new"))
+
+    assert run(sim, proc()) == b"payload"
+
+
+def test_subtree_rename_and_unlink(sim, backing):
+    fs, task = backing
+    view = SubtreeFs(fs, "/root/a")
+
+    def proc():
+        yield from view.rename(task, "/file", "/sub/file2")
+        yield from view.unlink(task, "/sub/file2")
+        return (yield from view.exists(task, "/file"))
+
+    assert run(sim, proc()) is False
+
+
+def test_subtree_peek_delegates(sim, backing):
+    fs, task = backing
+    view = SubtreeFs(fs, "/root/a")
+    assert view.peek("/file", 0, 100) == b"inside"
+    assert view.peek("/nope", 0, 100) is None
+
+
+def test_nested_subtrees_compose(sim, backing):
+    fs, task = backing
+    outer = SubtreeFs(fs, "/root")
+    inner = SubtreeFs(outer, "/a")
+
+    def proc():
+        return (yield from inner.read_file(task, "/file"))
+
+    assert run(sim, proc()) == b"inside"

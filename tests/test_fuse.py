@@ -1,0 +1,174 @@
+"""Integration tests for the FUSE transport."""
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import FileNotFound, ServiceFailed
+from repro.fs.api import OpenFlags
+from repro.fuse import FuseTransport
+from repro.hw import RamDisk
+from repro.kernel import LocalFs
+from tests.conftest import make_task, run
+
+
+@pytest.fixture
+def inner(sim, kernel):
+    return LocalFs(kernel, RamDisk(sim), name="inner")
+
+
+@pytest.fixture
+def fuse(sim, kernel, machine, inner):
+    return FuseTransport(kernel, inner, machine.activated, name="fuse-test")
+
+
+def test_roundtrip_through_daemon(sim, machine, fuse):
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", b"through the daemon")
+        return (yield from fuse.read_file(task, "/f"))
+
+    assert run(sim, proc()) == b"through the daemon"
+
+
+def test_context_switches_counted_per_call(sim, machine, fuse):
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", b"x")
+
+    run(sim, proc())
+    calls = fuse.metrics.counter("fuse_calls").value
+    switches = fuse.metrics.counter("ctx_switches").value
+    assert calls >= 2  # open + write (+ close)
+    assert switches == 2 * calls
+
+
+def test_large_write_is_split_into_fuse_chunks(sim, machine, kernel, inner):
+    fuse = FuseTransport(kernel, inner, machine.activated, name="split")
+    task = make_task(sim, machine)
+    payload = b"z" * (kernel.costs.fuse_max_write * 3)
+
+    def proc():
+        handle = yield from fuse.open(
+            task, "/big", OpenFlags.CREAT | OpenFlags.WRONLY
+        )
+        before = fuse.metrics.counter("fuse_calls").value
+        yield from fuse.write(task, handle, 0, payload)
+        after = fuse.metrics.counter("fuse_calls").value
+        yield from fuse.close(task, handle)
+        return after - before
+
+    assert run(sim, proc()) == 3
+
+
+def test_errors_propagate_through_daemon(sim, machine, fuse):
+    task = make_task(sim, machine)
+
+    def proc():
+        with pytest.raises(FileNotFound):
+            yield from fuse.open(task, "/missing")
+        return True
+
+    assert run(sim, proc())
+
+
+def test_fuse_is_slower_than_direct(sim, machine, kernel, inner):
+    fuse = FuseTransport(kernel, inner, machine.activated, name="slow")
+    task = make_task(sim, machine)
+
+    def direct():
+        start = sim.now
+        yield from inner.write_file(task, "/d", b"x" * units.kib(4))
+        return sim.now - start
+
+    def crossed():
+        start = sim.now
+        yield from fuse.write_file(task, "/f", b"x" * units.kib(4))
+        return sim.now - start
+
+    direct_time = run(sim, direct())
+    fuse_time = run(sim, crossed())
+    assert fuse_time > direct_time * 1.5
+
+
+def test_page_cache_mode_serves_hits_without_daemon(sim, machine, kernel, inner):
+    fuse = FuseTransport(
+        kernel, inner, machine.activated, name="fp", use_page_cache=True
+    )
+    task = make_task(sim, machine)
+    payload = b"c" * units.kib(64)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", payload)
+        handle = yield from fuse.open(task, "/f")
+        calls_before = fuse.metrics.counter("fuse_calls").value
+        data = yield from fuse.read(task, handle, 0, len(payload))
+        calls_after = fuse.metrics.counter("fuse_calls").value
+        yield from fuse.close(task, handle)
+        return data, calls_after - calls_before
+
+    data, extra_calls = run(sim, proc())
+    assert data == payload
+    assert extra_calls == 0  # read served purely from the page cache
+    assert fuse.metrics.counter("pc_hits").value >= 1
+
+
+def test_page_cache_mode_doubles_memory(sim, machine, kernel, inner):
+    fuse = FuseTransport(
+        kernel, inner, machine.activated, name="fp2", use_page_cache=True
+    )
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", b"m" * units.kib(64))
+
+    run(sim, proc())
+    # The written range is now resident in the kernel page cache on top of
+    # whatever the daemon-side filesystem keeps.
+    assert kernel.page_cache.cached_bytes >= units.kib(64)
+
+
+def test_direct_mode_keeps_page_cache_empty(sim, machine, kernel, inner):
+    fuse = FuseTransport(
+        kernel, inner, machine.activated, name="direct", use_page_cache=False
+    )
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", b"m" * units.kib(64))
+        yield from fuse.read_file(task, "/f")
+
+    run(sim, proc())
+    keys = [key for key in kernel.page_cache._files if key[0] == "fuse"]
+    assert keys == []
+
+
+def test_daemon_crash_fails_requests_but_not_host(sim, machine, kernel, inner):
+    fuse = FuseTransport(kernel, inner, machine.activated, name="crash")
+    other = LocalFs(kernel, RamDisk(sim), name="other")
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", b"before crash")
+        fuse.fail()
+        with pytest.raises(ServiceFailed):
+            yield from fuse.read_file(task, "/f")
+        # The rest of the host keeps working: another filesystem is fine.
+        yield from other.write_file(task, "/ok", b"alive")
+        return (yield from other.read_file(task, "/ok"))
+
+    assert run(sim, proc()) == b"alive"
+
+
+def test_daemon_threads_run_in_pool_cpuset(sim, machine, kernel, inner):
+    pool_cores = machine.cores[2:4]
+    fuse = FuseTransport(kernel, inner, pool_cores, name="pinned")
+    task = make_task(sim, machine, cores=pool_cores)
+
+    def proc():
+        yield from fuse.write_file(task, "/f", b"x" * units.kib(256))
+
+    run(sim, proc())
+    outside = sum(core.busy_time for core in machine.cores[4:])
+    assert outside == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,185 @@
+"""Unit tests for the hardware models (machine, disks, RAM accounting)."""
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import ConfigError, OutOfMemory
+from repro.hw import Disk, Machine, Raid0, RamDisk
+
+
+# --- Machine -----------------------------------------------------------------
+
+def test_machine_core_groups_are_pairs(sim):
+    machine = Machine(sim, num_cores=8, cores_per_group=2)
+    assert len(machine.core_groups) == 4
+    for group in machine.core_groups:
+        assert len(group.cores) == 2
+
+
+def test_activate_and_allocate_cores(sim):
+    machine = Machine(sim, num_cores=16)
+    machine.activate_cores(4)
+    pool_a = machine.allocate_cores(2)
+    pool_b = machine.allocate_cores(2)
+    assert [c.index for c in pool_a] == [0, 1]
+    assert [c.index for c in pool_b] == [2, 3]
+    with pytest.raises(ConfigError):
+        machine.allocate_cores(2)
+
+
+def test_pool_allocation_lands_on_one_core_group(sim):
+    machine = Machine(sim, num_cores=8, cores_per_group=2)
+    machine.activate_cores(4)
+    pool = machine.allocate_cores(2)
+    groups = machine.groups_covering(pool)
+    assert len(groups) == 1
+
+
+def test_activate_invalid_count_rejected(sim):
+    machine = Machine(sim, num_cores=4)
+    with pytest.raises(ConfigError):
+        machine.activate_cores(0)
+    with pytest.raises(ConfigError):
+        machine.activate_cores(5)
+
+
+def test_group_of_unknown_core_rejected(sim):
+    machine = Machine(sim, num_cores=4)
+    other = Machine(sim, name="other", num_cores=4)
+    with pytest.raises(ConfigError):
+        machine.group_of(other.cores[0])
+
+
+# --- RAM accounting ---------------------------------------------------------
+
+def test_ram_charge_and_uncharge(sim):
+    machine = Machine(sim, ram_bytes=units.mib(100))
+    machine.ram.charge(units.mib(60))
+    assert machine.ram.used == units.mib(60)
+    machine.ram.uncharge(units.mib(10))
+    assert machine.ram.used == units.mib(50)
+    assert machine.ram.high_water == units.mib(60)
+
+
+def test_ram_over_charge_raises(sim):
+    machine = Machine(sim, ram_bytes=units.mib(10))
+    with pytest.raises(OutOfMemory):
+        machine.ram.charge(units.mib(11))
+
+
+def test_child_account_charges_parent(sim):
+    machine = Machine(sim, ram_bytes=units.mib(100))
+    cgroup = machine.ram.child(units.mib(20), "pool0")
+    cgroup.charge(units.mib(15))
+    assert machine.ram.used == units.mib(15)
+    with pytest.raises(OutOfMemory):
+        cgroup.charge(units.mib(6))  # child limit hit first
+    cgroup.uncharge(units.mib(15))
+    assert machine.ram.used == 0
+
+
+def test_child_limit_cannot_exceed_parent_space(sim):
+    machine = Machine(sim, ram_bytes=units.mib(10))
+    cgroup = machine.ram.child(units.mib(50), "greedy")
+    with pytest.raises(OutOfMemory):
+        cgroup.charge(units.mib(20))  # parent capacity enforced
+
+
+def test_can_charge_checks_ancestors(sim):
+    machine = Machine(sim, ram_bytes=units.mib(10))
+    cgroup = machine.ram.child(units.mib(50), "pool")
+    assert cgroup.can_charge(units.mib(10))
+    assert not cgroup.can_charge(units.mib(11))
+
+
+def test_uncharge_more_than_used_rejected(sim):
+    machine = Machine(sim, ram_bytes=units.mib(10))
+    with pytest.raises(ConfigError):
+        machine.ram.uncharge(1)
+
+
+# --- Disks -------------------------------------------------------------------
+
+def test_disk_sequential_transfer_time(sim):
+    disk = Disk(sim, bandwidth=units.mib(100), seq_position_time=0)
+
+    def proc():
+        yield from disk.transfer(units.mib(10))
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(0.1)
+    assert disk.bytes_read == units.mib(10)
+
+
+def test_disk_random_io_pays_positioning(sim):
+    disk = Disk(
+        sim,
+        bandwidth=units.mib(100),
+        seq_position_time=0,
+        rand_position_time=units.msec(10),
+    )
+
+    def proc():
+        yield from disk.transfer(units.kib(4), write=True, random_access=True)
+        return sim.now
+
+    elapsed = sim.run_process(proc())
+    assert elapsed == pytest.approx(units.msec(10) + units.kib(4) / units.mib(100))
+    assert disk.bytes_written == units.kib(4)
+
+
+def test_disk_serialises_requests(sim):
+    disk = Disk(sim, bandwidth=units.mib(100), seq_position_time=0)
+    finish = []
+
+    def proc():
+        yield from disk.transfer(units.mib(10))
+        finish.append(sim.now)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    assert finish == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+def test_ramdisk_is_fast(sim):
+    ramdisk = RamDisk(sim)
+
+    def proc():
+        yield from ramdisk.transfer(units.mib(1), random_access=True)
+        return sim.now
+
+    assert sim.run_process(proc()) < units.msec(1)
+
+
+def test_raid0_parallelises_across_disks(sim):
+    disks = [
+        Disk(sim, name="d%d" % i, bandwidth=units.mib(100), seq_position_time=0)
+        for i in range(4)
+    ]
+    raid = Raid0(sim, disks, chunk=units.kib(64))
+
+    def proc():
+        yield from raid.transfer(units.mib(40))
+        return sim.now
+
+    # 40 MiB over 4 disks at 100 MiB/s each -> ~0.1s instead of 0.4s.
+    assert sim.run_process(proc()) == pytest.approx(0.1, rel=0.05)
+    assert raid.bandwidth == units.mib(400)
+
+
+def test_raid0_small_io_touches_one_disk(sim):
+    disks = [Disk(sim, name="d%d" % i) for i in range(4)]
+    raid = Raid0(sim, disks, chunk=units.kib(64))
+
+    def proc():
+        yield from raid.transfer(units.kib(4))
+
+    sim.run_process(proc())
+    touched = [d for d in disks if d.bytes_read > 0]
+    assert len(touched) == 1
+
+
+def test_raid0_requires_disks(sim):
+    with pytest.raises(ValueError):
+        Raid0(sim, [])

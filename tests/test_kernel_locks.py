@@ -1,0 +1,78 @@
+"""Unit tests for the kernel lock registry."""
+
+from repro.kernel import GLOBAL_INSTANCE, LockRegistry
+from tests.conftest import make_task, run
+
+
+def test_same_key_returns_same_lock(sim):
+    registry = LockRegistry(sim)
+    a = registry.get("i_mutex_key", 1)
+    b = registry.get("i_mutex_key", 1)
+    c = registry.get("i_mutex_key", 2)
+    assert a is b
+    assert a is not c
+
+
+def test_global_instance_is_shared(sim):
+    registry = LockRegistry(sim)
+    assert registry.get("lru_lock") is registry.get("lru_lock", GLOBAL_INSTANCE)
+
+
+def test_class_stats_merge_instances(sim, machine):
+    registry = LockRegistry(sim)
+    task = make_task(sim, machine)
+
+    def proc():
+        for ino in (1, 2):
+            lock = registry.get("i_mutex_key", ino)
+            yield from registry.locked_section(task, lock, 0.001)
+
+    run(sim, proc())
+    stats = registry.class_stats("i_mutex_key")
+    assert stats.acquisitions == 2
+    assert stats.total_hold > 0
+
+
+def test_locked_section_records_contention(sim, machine):
+    registry = LockRegistry(sim)
+    lock = registry.get("sb_lock")
+
+    def proc(name):
+        task = make_task(sim, machine, name)
+        yield from registry.locked_section(task, lock, 0.01)
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run(until=10)
+    assert lock.stats.acquisitions == 2
+    assert lock.stats.contended == 1
+    assert lock.stats.total_wait > 0
+
+
+def test_hottest_ranks_by_wait(sim, machine):
+    registry = LockRegistry(sim)
+    hot = registry.get("hot_lock")
+    cold = registry.get("cold_lock")
+
+    def proc(lock, hold):
+        task = make_task(sim, machine)
+        yield from registry.locked_section(task, lock, hold)
+
+    for _ in range(3):
+        sim.spawn(proc(hot, 0.05))
+    sim.spawn(proc(cold, 0.001))
+    sim.run(until=10)
+    ranked = registry.hottest()
+    assert ranked[0][0] == "hot_lock"
+
+
+def test_total_stats_covers_all_classes(sim, machine):
+    registry = LockRegistry(sim)
+
+    def proc():
+        task = make_task(sim, machine)
+        yield from registry.locked_section(task, registry.get("a"), 0.001)
+        yield from registry.locked_section(task, registry.get("b"), 0.001)
+
+    run(sim, proc())
+    assert registry.total_stats().acquisitions == 2

@@ -1,0 +1,169 @@
+"""Unit tests for the page cache."""
+
+import pytest
+
+from repro.common import units
+from repro.hw import RamAccount
+from repro.kernel import PageCache
+
+PAGE = 4096
+
+
+@pytest.fixture
+def ram():
+    return RamAccount(units.mib(1), name="test-ram")
+
+
+@pytest.fixture
+def cache(ram):
+    return PageCache(PAGE, ram)
+
+
+def flushless(nbytes, pages):
+    return iter(())  # never called in these tests
+
+
+def test_scan_all_missing(cache):
+    cf = cache.file("f")
+    hits, misses = cache.scan(cf, 0, 3 * PAGE)
+    assert hits == 0
+    assert misses == [(0, 3 * PAGE)]
+
+
+def test_insert_then_scan_hits(cache, ram):
+    cf = cache.file("f")
+    cache.insert(cf, 0, 3 * PAGE, ram)
+    hits, misses = cache.scan(cf, 0, 3 * PAGE)
+    assert hits == 3
+    assert misses == []
+    assert ram.used == 3 * PAGE
+
+
+def test_scan_partial_miss_in_middle(cache, ram):
+    cf = cache.file("f")
+    cache.insert(cf, 0, PAGE, ram)          # page 0
+    cache.insert(cf, 2 * PAGE, PAGE, ram)   # page 2
+    hits, misses = cache.scan(cf, 0, 3 * PAGE)
+    assert hits == 2
+    assert misses == [(PAGE, PAGE)]
+
+
+def test_scan_unaligned_range(cache, ram):
+    cf = cache.file("f")
+    hits, misses = cache.scan(cf, 100, 50)
+    assert hits == 0
+    assert misses == [(0, PAGE)]  # page-aligned fetch
+
+
+def test_insert_is_idempotent(cache, ram):
+    cf = cache.file("f")
+    assert cache.insert(cf, 0, PAGE, ram) == 1
+    assert cache.insert(cf, 0, PAGE, ram) == 0
+    assert ram.used == PAGE
+
+
+def test_mark_dirty_accounting(cache, ram):
+    cf = cache.file("f")
+    cache.mark_dirty(cf, 0, 2 * PAGE, now=1.0, account=ram)
+    assert cache.dirty_bytes == 2 * PAGE
+    assert cache.account_dirty(ram) == 2 * PAGE
+    assert cf.nr_dirty == 2
+
+
+def test_clean_restores_accounting(cache, ram):
+    cf = cache.file("f")
+    cache.mark_dirty(cf, 0, 2 * PAGE, now=1.0, account=ram)
+    cleaned = cache.clean(cf, [0, 1])
+    assert cleaned == 2 * PAGE
+    assert cache.dirty_bytes == 0
+    assert cache.account_dirty(ram) == 0
+    assert cf.nr_dirty == 0
+    # pages stay cached as clean
+    hits, _ = cache.scan(cf, 0, 2 * PAGE)
+    assert hits == 2
+
+
+def test_dirty_pages_not_evictable(cache, ram):
+    cf = cache.file("f")
+    capacity_pages = ram.capacity // PAGE
+    cache.mark_dirty(cf, 0, capacity_pages * PAGE, now=0.0, account=ram)
+    other = cache.file("g")
+    inserted = cache.insert(other, 0, PAGE, ram)
+    assert inserted == 0  # nothing evictable, page served uncached
+
+
+def test_eviction_reclaims_cold_clean_pages(cache, ram):
+    cf = cache.file("f")
+    capacity_pages = ram.capacity // PAGE
+    cache.insert(cf, 0, capacity_pages * PAGE, ram)
+    assert ram.available == 0
+    other = cache.file("g")
+    assert cache.insert(other, 0, PAGE, ram) == 1
+    assert cache.evictions == 1
+    assert ram.used == ram.capacity  # still full, coldest page replaced
+
+
+def test_lru_eviction_order(cache, ram):
+    cf = cache.file("f")
+    capacity_pages = ram.capacity // PAGE
+    cache.insert(cf, 0, capacity_pages * PAGE, ram)
+    # Touch page 0 so it becomes hottest.
+    cache.scan(cf, 0, PAGE)
+    other = cache.file("g")
+    cache.insert(other, 0, PAGE, ram)
+    # Page 0 survived; page 1 (coldest untouched) went.
+    hits, _ = cache.scan(cf, 0, PAGE)
+    assert hits == 1
+    hits, _ = cache.scan(cf, PAGE, PAGE)
+    assert hits == 0
+
+
+def test_drop_file_releases_memory(cache, ram):
+    cf = cache.file("f")
+    cache.insert(cf, 0, 4 * PAGE, ram)
+    cache.mark_dirty(cf, 0, PAGE, now=0.0, account=ram)
+    cache.drop_file("f")
+    assert ram.used == 0
+    assert cache.dirty_bytes == 0
+    assert cache.peek("f") is None
+
+
+def test_pick_flush_batch_respects_age(cache, ram):
+    cf = cache.file("f")
+    cache.mark_dirty(cf, 0, PAGE, now=0.0, account=ram)
+    cache.mark_dirty(cf, PAGE, PAGE, now=10.0, account=ram)
+    picked = cache.pick_flush_batch(cf, 10, now=11.0, min_age=5.0)
+    assert picked == [0]
+
+
+def test_pick_flush_batch_skips_under_writeback(cache, ram):
+    cf = cache.file("f")
+    cache.mark_dirty(cf, 0, 2 * PAGE, now=0.0, account=ram)
+    first = cache.pick_flush_batch(cf, 1)
+    second = cache.pick_flush_batch(cf, 10)
+    assert first == [0]
+    assert second == [1]
+
+
+def test_cancel_writeback_allows_repick(cache, ram):
+    cf = cache.file("f")
+    cache.mark_dirty(cf, 0, PAGE, now=0.0, account=ram)
+    picked = cache.pick_flush_batch(cf, 10)
+    cache.cancel_writeback(cf, picked)
+    assert cache.pick_flush_batch(cf, 10) == picked
+
+
+def test_dirty_files_listing(cache, ram):
+    cf = cache.file("f")
+    cache.insert(cf, 0, PAGE, ram)
+    assert cache.dirty_files() == []
+    cache.mark_dirty(cf, 0, PAGE, now=0.0, account=ram)
+    assert cache.dirty_files() == [cf]
+
+
+def test_stats_snapshot(cache, ram):
+    cf = cache.file("f")
+    cache.insert(cf, 0, 2 * PAGE, ram)
+    stats = cache.stats()
+    assert stats["cached_bytes"] == 2 * PAGE
+    assert stats["files"] == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the network fabric model."""
+
+import pytest
+
+from repro.common import units
+from repro.net import Fabric, Link
+
+
+def test_link_transfer_time_includes_latency(sim):
+    link = Link(sim, bandwidth=units.mib(100), latency=0.01)
+
+    def proc():
+        yield from link.transfer(units.mib(10))
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(0.11)
+
+
+def test_link_zero_bytes_costs_only_latency(sim):
+    link = Link(sim, bandwidth=units.mib(100), latency=0.01)
+
+    def proc():
+        yield from link.transfer(0)
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(0.01)
+
+
+def test_concurrent_transfers_share_bandwidth(sim):
+    link = Link(sim, bandwidth=units.mib(100), latency=0)
+    finish = []
+
+    def proc():
+        yield from link.transfer(units.mib(10))
+        finish.append(sim.now)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    # Two 10MiB flows over 100MiB/s: fair sharing -> both need ~0.2s.
+    assert max(finish) == pytest.approx(0.2, rel=0.05)
+    assert min(finish) > 0.15
+
+
+def test_link_records_metrics(sim):
+    link = Link(sim, bandwidth=units.mib(100), latency=0)
+
+    def proc():
+        yield from link.transfer(units.kib(4))
+
+    sim.run_process(proc())
+    assert link.metrics.counter("bytes").value == units.kib(4)
+    assert link.metrics.counter("transfers").value == 1
+
+
+def test_fabric_rpc_runs_server_logic(sim):
+    fabric = Fabric(sim, bandwidth=units.mib(100), latency=0.001)
+
+    def server():
+        yield sim.timeout(0.005)
+        return "stored"
+
+    def client():
+        result = yield from fabric.rpc(
+            server(), send_bytes=units.kib(64), recv_bytes=0
+        )
+        return result, sim.now
+
+    result, elapsed = sim.run_process(client())
+    assert result == "stored"
+    # two latencies + server time + payload transfer time
+    assert elapsed > 0.001 * 2 + 0.005

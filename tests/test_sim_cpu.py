@@ -1,0 +1,159 @@
+"""Unit tests for the CPU core model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Core, SimThread, UtilizationProbe
+
+
+def make_cores(sim, n):
+    return [Core(sim, i) for i in range(n)]
+
+
+def test_thread_run_consumes_time(sim):
+    cores = make_cores(sim, 1)
+    thread = SimThread(sim, "t", cores)
+
+    def proc():
+        yield from thread.run(0.01)
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(0.01)
+    assert thread.cpu_time == pytest.approx(0.01)
+    assert cores[0].busy_time == pytest.approx(0.01)
+
+
+def test_two_threads_share_one_core(sim):
+    cores = make_cores(sim, 1)
+    done = {}
+
+    def proc(name):
+        thread = SimThread(sim, name, cores)
+        yield from thread.run(0.01)
+        done[name] = sim.now
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    # A single core serialises 20ms of total work.
+    assert max(done.values()) == pytest.approx(0.02)
+
+
+def test_two_threads_spread_over_two_cores(sim):
+    cores = make_cores(sim, 2)
+    done = {}
+
+    def proc(name):
+        thread = SimThread(sim, name, cores)
+        yield from thread.run(0.01)
+        done[name] = sim.now
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    # Least-loaded selection should put them on different cores.
+    assert max(done.values()) == pytest.approx(0.01, rel=0.2)
+
+
+def test_pinned_thread_stays_on_core(sim):
+    cores = make_cores(sim, 2)
+    thread = SimThread(sim, "t", cores)
+    thread.pin(cores[1])
+
+    def proc():
+        yield from thread.run(0.01)
+
+    sim.run_process(proc())
+    assert cores[1].busy_time == pytest.approx(0.01)
+    assert cores[0].busy_time == 0
+
+
+def test_pin_outside_cpuset_rejected(sim):
+    cores = make_cores(sim, 3)
+    thread = SimThread(sim, "t", cores[:2])
+    with pytest.raises(SimulationError):
+        thread.pin(cores[2])
+
+
+def test_set_cpuset_clears_stale_pin(sim):
+    cores = make_cores(sim, 3)
+    thread = SimThread(sim, "t", cores[:2])
+    thread.pin(cores[0])
+    thread.set_cpuset(cores[1:])
+    assert thread.pinned is None
+
+
+def test_empty_cpuset_rejected(sim):
+    with pytest.raises(SimulationError):
+        SimThread(sim, "t", [])
+
+
+def test_negative_cpu_time_rejected(sim):
+    cores = make_cores(sim, 1)
+    thread = SimThread(sim, "t", cores)
+
+    def proc():
+        yield from thread.run(-1)
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_context_switches_counted(sim):
+    cores = make_cores(sim, 1)
+    t1 = SimThread(sim, "a", cores)
+    t2 = SimThread(sim, "b", cores)
+
+    def proc(thread):
+        yield from thread.run(0.002, quantum=0.001)
+
+    sim.spawn(proc(t1))
+    sim.spawn(proc(t2))
+    sim.run()
+    # Interleaving on one core forces each thread to switch in at least once.
+    assert t1.ctx_switches + t2.ctx_switches >= 2
+
+
+def test_utilization_probe_full_busy(sim):
+    cores = make_cores(sim, 1)
+    thread = SimThread(sim, "t", cores)
+    probe = UtilizationProbe(sim, cores)
+
+    def proc():
+        yield from thread.run(0.05)
+
+    sim.run_process(proc())
+    assert probe.utilization() == pytest.approx(1.0, rel=0.01)
+
+
+def test_utilization_probe_idle_cores(sim):
+    cores = make_cores(sim, 2)
+    thread = SimThread(sim, "t", [cores[0]])
+    probe = UtilizationProbe(sim, cores)
+
+    def proc():
+        yield from thread.run(0.05)
+
+    sim.run_process(proc())
+    # One of two cores busy -> 50% mean, 100% summed-over-busy-core.
+    assert probe.utilization() == pytest.approx(0.5, rel=0.01)
+    assert probe.total_utilization() == pytest.approx(1.0, rel=0.01)
+
+
+def test_utilization_probe_reset(sim):
+    cores = make_cores(sim, 1)
+    thread = SimThread(sim, "t", cores)
+    probe = UtilizationProbe(sim, cores)
+
+    def busy():
+        yield from thread.run(0.05)
+
+    sim.run_process(busy())
+    probe.reset()
+
+    def idle():
+        yield sim.timeout(0.05)
+
+    sim.run_process(idle())
+    assert probe.utilization() == pytest.approx(0.0, abs=1e-9)

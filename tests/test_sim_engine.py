@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    log = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [1.5]
+
+
+def test_timeout_value_passed_through(sim):
+    def proc():
+        got = yield sim.timeout(0.1, value="hello")
+        return got
+
+    assert sim.run_process(proc()) == "hello"
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_run_until_stops_early(sim):
+    def proc():
+        yield sim.timeout(10)
+
+    sim.spawn(proc())
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_run_until_beyond_queue_advances_clock(sim):
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+
+    def waiter(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.spawn(waiter(3, "c"))
+    sim.spawn(waiter(1, "a"))
+    sim.spawn(waiter(2, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo(sim):
+    order = []
+
+    def waiter(tag):
+        yield sim.timeout(1)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.spawn(waiter(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value(sim):
+    def child():
+        yield sim.timeout(1)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        return value
+
+    assert sim.run_process(parent()) == 42
+
+
+def test_event_succeed_wakes_waiter(sim):
+    gate = sim.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(2)
+        gate.succeed("open")
+
+    sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert log == [(2, "open")]
+
+
+def test_event_fail_raises_in_waiter(sim):
+    gate = sim.event()
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield gate
+        return "caught"
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert proc.value == "caught"
+
+
+def test_double_trigger_rejected(sim):
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_unobserved_crash_surfaces_in_run(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("oops")
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_observed_crash_propagates_to_joiner(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("oops")
+
+    def parent():
+        with pytest.raises(RuntimeError):
+            yield sim.spawn(bad())
+        return "handled"
+
+    assert sim.run_process(parent()) == "handled"
+
+
+def test_any_of_returns_first(sim):
+    def slow():
+        yield sim.timeout(5)
+        return "slow"
+
+    def fast():
+        yield sim.timeout(1)
+        return "fast"
+
+    def parent():
+        index, value = yield sim.any_of([sim.spawn(slow()), sim.spawn(fast())])
+        return index, value, sim.now
+
+    assert sim.run_process(parent()) == (1, "fast", 1)
+
+
+def test_all_of_waits_for_all(sim):
+    def worker(delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def parent():
+        values = yield sim.all_of([sim.spawn(worker(d)) for d in (3, 1, 2)])
+        return values, sim.now
+
+    values, finished = sim.run_process(parent())
+    assert values == [3, 1, 2]
+    assert finished == 3
+
+
+def test_all_of_empty_completes_immediately(sim):
+    def parent():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(parent()) == []
+
+
+def test_interrupt_raises_inside_process(sim):
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            log.append((intr.cause, sim.now))
+        return "done"
+
+    def interrupter(target):
+        yield sim.timeout(1)
+        target.interrupt(cause="wakeup")
+
+    target = sim.spawn(sleeper())
+    sim.spawn(interrupter(target))
+    sim.run()
+    # The interrupt arrives at t=1; the abandoned 100s timer still ticks the
+    # clock at the very end of run(), which is fine.
+    assert log == [("wakeup", 1)]
+    assert target.value == "done"
+
+
+def test_interrupt_finished_process_is_noop(sim):
+    def quick():
+        yield sim.timeout(1)
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt()  # should not raise
+    sim.run()
+
+
+def test_spawn_rejects_non_generator(sim):
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)
+
+
+def test_yield_non_event_is_an_error(sim):
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_do_not_cross_simulators():
+    sim_a = Simulator()
+    sim_b = Simulator()
+
+    def proc():
+        yield sim_b.timeout(1)
+
+    sim_a.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim_a.run()
+
+
+def test_run_process_incomplete_raises(sim):
+    def forever():
+        while True:
+            yield sim.timeout(1)
+
+    with pytest.raises(SimulationError):
+        sim.run_process(forever(), until=5)
+
+
+def test_determinism_same_seed_same_trace():
+    def build():
+        sim = Simulator()
+        order = []
+
+        def worker(tag, delay):
+            yield sim.timeout(delay)
+            order.append((tag, sim.now))
+
+        for tag in range(10):
+            sim.spawn(worker(tag, (tag * 7) % 5 + 0.5))
+        sim.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,217 @@
+"""Unit tests for Mutex, Semaphore and Store primitives."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Mutex, Semaphore, Store
+
+
+# --- Mutex ----------------------------------------------------------------
+
+def test_mutex_uncontended_acquire_is_immediate(sim):
+    lock = Mutex(sim)
+
+    def proc():
+        yield lock.acquire()
+        held_at = sim.now
+        lock.release()
+        return held_at
+
+    assert sim.run_process(proc()) == 0
+
+
+def test_mutex_excludes_and_fifo_orders(sim):
+    lock = Mutex(sim)
+    order = []
+
+    def proc(tag, hold):
+        yield lock.acquire()
+        order.append(("in", tag, sim.now))
+        yield sim.timeout(hold)
+        order.append(("out", tag, sim.now))
+        lock.release()
+
+    sim.spawn(proc("a", 2))
+    sim.spawn(proc("b", 1))
+    sim.spawn(proc("c", 1))
+    sim.run()
+    assert order == [
+        ("in", "a", 0),
+        ("out", "a", 2),
+        ("in", "b", 2),
+        ("out", "b", 3),
+        ("in", "c", 3),
+        ("out", "c", 4),
+    ]
+
+
+def test_mutex_wait_and_hold_stats(sim):
+    lock = Mutex(sim)
+
+    def holder():
+        yield lock.acquire()
+        yield sim.timeout(4)
+        lock.release()
+
+    def waiter():
+        yield sim.timeout(1)
+        yield lock.acquire()
+        yield sim.timeout(2)
+        lock.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    stats = lock.stats
+    assert stats.acquisitions == 2
+    assert stats.contended == 1
+    assert stats.total_wait == pytest.approx(3)  # waiter queued t=1..4
+    assert stats.total_hold == pytest.approx(6)  # 4 + 2
+    assert stats.avg_wait == pytest.approx(1.5)
+    assert stats.avg_hold == pytest.approx(3)
+
+
+def test_mutex_release_unheld_raises(sim):
+    lock = Mutex(sim)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_lockstats_merge(sim):
+    a = Mutex(sim).stats
+    b = Mutex(sim).stats
+    a.record_wait(1.0)
+    a.record_hold(2.0)
+    b.record_wait(0.0)
+    b.record_hold(4.0)
+    a.merge(b)
+    assert a.acquisitions == 2
+    assert a.total_hold == pytest.approx(6.0)
+    assert a.max_hold == pytest.approx(4.0)
+
+
+# --- Semaphore --------------------------------------------------------------
+
+def test_semaphore_allows_capacity_concurrency(sim):
+    sem = Semaphore(sim, 2)
+    active = []
+    peak = []
+
+    def proc():
+        yield sem.acquire()
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(1)
+        active.pop()
+        sem.release()
+
+    for _ in range(5):
+        sim.spawn(proc())
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == pytest.approx(3)  # 5 jobs, 2 at a time, 1s each
+
+
+def test_semaphore_over_release_raises(sim):
+    sem = Semaphore(sim, 1)
+    with pytest.raises(SimulationError):
+        sem.release()
+
+
+def test_semaphore_zero_capacity_blocks(sim):
+    sem = Semaphore(sim, 0)
+    done = []
+
+    def proc():
+        yield sem.acquire()
+        done.append(sim.now)
+
+    def releaser():
+        yield sim.timeout(2)
+        sem._available += 1  # hand a unit directly
+        sem._available -= 1
+        sem._waiters.popleft().succeed()
+
+    sim.spawn(proc())
+    sim.spawn(releaser())
+    sim.run()
+    assert done == [2]
+
+
+# --- Store ------------------------------------------------------------------
+
+def test_store_put_then_get(sim):
+    store = Store(sim)
+
+    def proc():
+        yield store.put("x")
+        value = yield store.get()
+        return value
+
+    assert sim.run_process(proc()) == "x"
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+
+    def consumer():
+        value = yield store.get()
+        return value, sim.now
+
+    def producer():
+        yield sim.timeout(3)
+        yield store.put("late")
+
+    proc = sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert proc.value == ("late", 3)
+
+
+def test_store_fifo_order(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            value = yield store.get()
+            got.append(value)
+
+    def producer():
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_bounded_put_blocks(sim):
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("a", sim.now))
+        yield store.put("b")
+        times.append(("b", sim.now))
+
+    def consumer():
+        yield sim.timeout(5)
+        yield store.get()
+        yield store.get()
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert times == [("a", 0), ("b", 5)]
+
+
+def test_store_try_get(sim):
+    store = Store(sim)
+    assert store.try_get() == (False, None)
+    store.put("v")
+    sim.run()
+    ok, value = store.try_get()
+    assert ok and value == "v"

@@ -1,0 +1,146 @@
+"""Tests for OSD failure handling, degraded I/O and recovery."""
+
+import pytest
+
+from repro.common import units
+from repro.costs import CostModel
+from repro.net import Fabric
+from repro.storage import CephCluster
+from tests.conftest import run
+
+
+@pytest.fixture
+def costs():
+    return CostModel(object_size=units.kib(64))
+
+
+def make_cluster(sim, costs, replicas=2, num_osds=4):
+    return CephCluster(sim, Fabric(sim), costs, num_osds=num_osds,
+                       replicas=replicas)
+
+
+def test_monitor_tracks_epochs(sim, costs):
+    cluster = make_cluster(sim, costs)
+    monitor = cluster.monitor
+    assert monitor.epoch == 1
+    monitor.mark_down(0)
+    assert monitor.epoch == 2
+    assert not monitor.is_up(0)
+    monitor.mark_down(0)  # idempotent
+    assert monitor.epoch == 2
+    monitor.mark_up(0)
+    assert monitor.epoch == 3
+    assert monitor.is_up(0)
+
+
+def test_replicated_read_survives_primary_failure(sim, costs):
+    cluster = make_cluster(sim, costs, replicas=2)
+    payload = b"replicated-payload" * 100
+
+    def proc():
+        yield from cluster.write_extent(1, 0, payload)
+        primary = cluster.crush.primary(1, 0)
+        cluster.monitor.mark_down(primary)
+        return (yield from cluster.read_extent(1, 0, len(payload)))
+
+    assert run(sim, proc()) == payload
+
+
+def test_unreplicated_data_lost_on_failure(sim, costs):
+    cluster = make_cluster(sim, costs, replicas=1)
+    payload = b"single-copy"
+
+    def proc():
+        yield from cluster.write_extent(2, 0, payload)
+        primary = cluster.crush.primary(2, 0)
+        cluster.monitor.mark_down(primary)
+        return (yield from cluster.read_extent(2, 0, len(payload)))
+
+    # With one replica on the failed device the read finds nothing.
+    assert run(sim, proc()) == b""
+
+
+def test_writes_route_around_failed_osd(sim, costs):
+    cluster = make_cluster(sim, costs, replicas=2)
+
+    def proc():
+        primary = cluster.crush.primary(3, 0)
+        cluster.monitor.mark_down(primary)
+        yield from cluster.write_extent(3, 0, b"detour")
+        return (yield from cluster.read_extent(3, 0, 6))
+
+    assert run(sim, proc()) == b"detour"
+    # The failed OSD holds nothing.
+    failed = cluster.crush.primary(3, 0)
+    assert cluster.osds[failed].object_size(3, 0) == 0
+
+
+def test_under_replicated_detection_and_recovery(sim, costs):
+    cluster = make_cluster(sim, costs, replicas=2)
+    payload = b"x" * units.kib(32)
+
+    def proc():
+        yield from cluster.write_extent(4, 0, payload)
+        victim = cluster.crush.primary(4, 0)
+        cluster.monitor.mark_down(victim)
+        missing = cluster.monitor.under_replicated()
+        moved = yield from cluster.monitor.recover()
+        after = cluster.monitor.under_replicated()
+        return missing, moved, after
+
+    missing, moved, after = run(sim, proc())
+    assert missing, "the object should be under-replicated after the failure"
+    assert moved >= units.kib(32)
+    assert after == []
+
+
+def test_recovered_object_readable_from_new_member(sim, costs):
+    cluster = make_cluster(sim, costs, replicas=2)
+    payload = b"move me" * 50
+
+    def proc():
+        yield from cluster.write_extent(5, 0, payload)
+        victim = cluster.crush.primary(5, 0)
+        cluster.monitor.mark_down(victim)
+        yield from cluster.monitor.recover()
+        # Even the surviving original replica can now fail.
+        survivors = [
+            osd_id for osd_id in cluster.crush.placement(5, 0)
+            if osd_id != victim
+        ]
+        for osd_id in survivors:
+            cluster.monitor.mark_down(osd_id)
+        return (yield from cluster.read_extent(5, 0, len(payload)))
+
+    assert run(sim, proc()) == payload
+
+
+def test_degraded_flag(sim, costs):
+    cluster = make_cluster(sim, costs)
+    assert not cluster.degraded
+    cluster.monitor.mark_down(1)
+    assert cluster.degraded
+    cluster.monitor.mark_up(1)
+    assert not cluster.degraded
+
+
+def test_client_io_survives_osd_failure(sim, machine, costs):
+    """End to end: a user-level client keeps working through a failure."""
+    from repro.cephclient import CephLibClient
+    from tests.conftest import make_task
+
+    cluster = make_cluster(sim, costs, replicas=2)
+    account = machine.ram.child(units.mib(64), "ha.ram")
+    client = CephLibClient(
+        sim, cluster, costs, account, machine.activated, name="ha"
+    )
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from client.write_file(task, "/critical", b"do not lose", sync=True)
+        info = client.attr_cache["/critical"]
+        cluster.monitor.mark_down(cluster.crush.primary(info.ino, 0))
+        client.cache.drop_ino(info.ino)  # force a backend read
+        return (yield from client.read_file(task, "/critical"))
+
+    assert run(sim, proc()) == b"do not lose"

@@ -1,0 +1,279 @@
+"""Integration tests for the union filesystem."""
+
+import pytest
+
+from repro.common.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    ReadOnlyFilesystem,
+)
+from repro.costs import CostModel
+from repro.fs.api import OpenFlags
+from repro.fs.memtree import MemTree
+from repro.hw import RamDisk
+from repro.kernel import LocalFs
+from repro.unionfs import Branch, UnionFs
+from tests.conftest import make_task, run
+
+
+@pytest.fixture
+def setup(sim, kernel, machine):
+    """Two-branch union: writable /upper over read-only /lower."""
+    fs = LocalFs(kernel, RamDisk(sim), name="backing")
+    task = make_task(sim, machine, "setup")
+
+    def populate():
+        yield from fs.makedirs(task, "/upper")
+        yield from fs.makedirs(task, "/lower/etc")
+        yield from fs.write_file(task, "/lower/base.txt", b"base content")
+        yield from fs.write_file(task, "/lower/etc/conf", b"setting=1")
+
+    run(sim, populate())
+    union = UnionFs(
+        sim, CostModel(),
+        [Branch(fs, "/upper", writable=True), Branch(fs, "/lower")],
+    )
+    return fs, union, task
+
+
+def test_read_from_lower_branch(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        return (yield from union.read_file(task, "/base.txt"))
+
+    assert run(sim, proc()) == b"base content"
+
+
+def test_create_goes_to_upper(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.write_file(task, "/new.txt", b"fresh")
+        upper = yield from fs.read_file(task, "/upper/new.txt")
+        return upper
+
+    assert run(sim, proc()) == b"fresh"
+
+
+def test_write_to_lower_file_copies_up(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        handle = yield from union.open(task, "/base.txt", OpenFlags.RDWR)
+        yield from union.write(task, handle, 0, b"MOD!")
+        yield from union.close(task, handle)
+        merged = yield from union.read_file(task, "/base.txt")
+        lower = yield from fs.read_file(task, "/lower/base.txt")
+        upper = yield from fs.read_file(task, "/upper/base.txt")
+        return merged, lower, upper
+
+    merged, lower, upper = run(sim, proc())
+    assert merged == b"MOD! content"
+    assert lower == b"base content"  # the read-only branch is untouched
+    assert upper == b"MOD! content"
+    assert setup[1].metrics.counter("copy_ups").value == 1
+
+
+def test_copy_up_preserves_whole_file(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        handle = yield from union.open(
+            task, "/base.txt", OpenFlags.WRONLY | OpenFlags.APPEND
+        )
+        yield from union.write(task, handle, 0, b"+tail")
+        yield from union.close(task, handle)
+        return (yield from union.read_file(task, "/base.txt"))
+
+    assert run(sim, proc()) == b"base content+tail"
+
+
+def test_trunc_open_skips_copy_up(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        handle = yield from union.open(
+            task, "/base.txt", OpenFlags.WRONLY | OpenFlags.TRUNC
+        )
+        yield from union.write(task, handle, 0, b"new")
+        yield from union.close(task, handle)
+        return (yield from union.read_file(task, "/base.txt"))
+
+    assert run(sim, proc()) == b"new"
+    assert setup[1].metrics.counter("copy_ups").value == 0
+
+
+def test_unlink_lower_creates_whiteout(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.unlink(task, "/base.txt")
+        exists = yield from union.exists(task, "/base.txt")
+        whiteout = yield from fs.exists(task, "/upper/.wh.base.txt")
+        return exists, whiteout
+
+    exists, whiteout = run(sim, proc())
+    assert not exists
+    assert whiteout
+
+
+def test_whiteout_hides_lower_in_readdir(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.write_file(task, "/mine.txt", b"x")
+        yield from union.unlink(task, "/base.txt")
+        return (yield from union.readdir(task, "/"))
+
+    names = run(sim, proc())
+    assert "base.txt" not in names
+    assert "mine.txt" in names
+    assert "etc" in names
+    assert not any(name.startswith(".wh.") for name in names)
+
+
+def test_recreate_after_whiteout(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.unlink(task, "/base.txt")
+        yield from union.write_file(task, "/base.txt", b"reborn")
+        return (yield from union.read_file(task, "/base.txt"))
+
+    assert run(sim, proc()) == b"reborn"
+
+
+def test_readdir_merges_branches(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.write_file(task, "/upper_only.txt", b"u")
+        return (yield from union.readdir(task, "/"))
+
+    names = run(sim, proc())
+    assert "base.txt" in names
+    assert "upper_only.txt" in names
+
+
+def test_readdir_dedupes_same_name(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.write_file(task, "/base.txt", b"shadow")
+        return (yield from union.readdir(task, "/"))
+
+    names = run(sim, proc())
+    assert names.count("base.txt") == 1
+
+
+def test_upper_shadows_lower(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from fs.write_file(task, "/upper/base.txt", b"shadow")
+        return (yield from union.read_file(task, "/base.txt"))
+
+    assert run(sim, proc()) == b"shadow"
+
+
+def test_stat_missing_raises(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        with pytest.raises(FileNotFound):
+            yield from union.stat(task, "/ghost")
+        return True
+
+    assert run(sim, proc())
+
+
+def test_mkdir_existing_lower_raises(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        with pytest.raises(FileExists):
+            yield from union.mkdir(task, "/etc")
+        return True
+
+    assert run(sim, proc())
+
+
+def test_rmdir_nonempty_union_dir_raises(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        with pytest.raises(DirectoryNotEmpty):
+            yield from union.rmdir(task, "/etc")
+        return True
+
+    assert run(sim, proc())
+
+
+def test_rename_lower_copies_and_whiteouts(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.rename(task, "/base.txt", "/renamed.txt")
+        old_exists = yield from union.exists(task, "/base.txt")
+        data = yield from union.read_file(task, "/renamed.txt")
+        lower_still = yield from fs.exists(task, "/lower/base.txt")
+        return old_exists, data, lower_still
+
+    old_exists, data, lower_still = run(sim, proc())
+    assert not old_exists
+    assert data == b"base content"
+    assert lower_still  # lower branch untouched
+
+
+def test_exclusive_create_on_lower_file_raises(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        with pytest.raises(FileExists):
+            yield from union.open(
+                task, "/base.txt",
+                OpenFlags.CREAT | OpenFlags.EXCL | OpenFlags.WRONLY,
+            )
+        return True
+
+    assert run(sim, proc())
+
+
+def test_single_readonly_branch_rejects_writes(sim, kernel, machine):
+    fs = LocalFs(kernel, RamDisk(sim), name="ro")
+    task = make_task(sim, machine)
+
+    def populate():
+        yield from fs.write_file(task, "/f", b"x")
+
+    run(sim, populate())
+    union = UnionFs(sim, CostModel(), [Branch(fs, "/", writable=False)])
+
+    def proc():
+        with pytest.raises(ReadOnlyFilesystem):
+            yield from union.open(task, "/g", OpenFlags.CREAT | OpenFlags.WRONLY)
+        with pytest.raises(ReadOnlyFilesystem):
+            yield from union.unlink(task, "/f")
+        return True
+
+    assert run(sim, proc())
+
+
+def test_top_branch_must_be_writable(sim, kernel):
+    fs = LocalFs(kernel, RamDisk(sim), name="b")
+    with pytest.raises(InvalidArgument):
+        UnionFs(sim, CostModel(), [Branch(fs, "/a"), Branch(fs, "/b")])
+
+
+def test_peek_respects_whiteouts(sim, setup):
+    fs, union, task = setup
+
+    def proc():
+        yield from union.unlink(task, "/base.txt")
+
+    run(sim, proc())
+    assert union.peek("/base.txt", 0, 100) is None
+    assert union.peek("/etc/conf", 0, 100) == b"setting=1"
