@@ -17,11 +17,14 @@ benchmark measures exactly this switch.
 
 from repro.cephclient.cache import ObjectCache
 from repro.common.errors import (
+    RETRYABLE,
     BadFileDescriptor,
     FileExists,
     FileNotFound,
+    FsError,
     InvalidArgument,
     IsADirectory,
+    ThreadKilled,
 )
 from repro.fs import pathutil
 from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags
@@ -86,6 +89,11 @@ class CephLibClient(Filesystem):
         self._sizes = {}  # ino -> local authoritative size
         self._paths = {}  # ino -> path (for size flush to the MDS)
         self._dirty_since = {}  # ino -> first dirty time
+        #: ino -> count of in-flight flushes whose MDS size update has not
+        #: landed yet; while non-zero the local size stays authoritative
+        #: (the Fw-caps analogue of "dirty": take_dirty cleared the buffer
+        #: but the data/size is still ours until the MDS acknowledges).
+        self._size_flushing = {}
         self._seq_end = {}  # ino -> end offset of last read (readahead)
         self._flush_waiters = []
         self.metrics = MetricSet(name)
@@ -106,6 +114,8 @@ class CephLibClient(Filesystem):
         self.client_id = (
             cluster.register_client(self) if consistency == "caps" else None
         )
+        self._session_epoch = cluster.mds.session_epoch
+        self._held_caps = {}  # ino -> caps mask held under this session
         if start_flusher:
             sim.spawn(self._flusher_loop(), name="%s.flusher" % name)
 
@@ -135,12 +145,28 @@ class CephLibClient(Filesystem):
     def _remember(self, path, info):
         self.attr_cache[path] = info
         self._paths[info.ino] = path
-        if info.ino not in self._sizes or not self._has_dirty(info.ino):
+        if info.ino not in self._sizes \
+                or not self._size_authoritative(info.ino):
             self._sizes[info.ino] = info.size
 
     def _has_dirty(self, ino):
         buffer = self.cache._dirty.get(ino)
         return buffer is not None and bool(buffer)
+
+    def _size_pin(self, ino):
+        self._size_flushing[ino] = self._size_flushing.get(ino, 0) + 1
+
+    def _size_unpin(self, ino):
+        count = self._size_flushing.get(ino, 0) - 1
+        if count > 0:
+            self._size_flushing[ino] = count
+        else:
+            self._size_flushing.pop(ino, None)
+
+    def _size_authoritative(self, ino):
+        """True while our local size must not be displaced by MDS attrs:
+        dirty data buffered, a flush in flight, or a size resend pending."""
+        return self._has_dirty(ino) or ino in self._size_flushing
 
     def _local_size(self, ino, fallback=0):
         return self._sizes.get(ino, fallback)
@@ -171,17 +197,20 @@ class CephLibClient(Filesystem):
         if self.consistency == "caps" and not info.is_dir:
             from repro.storage.caps import CAP_READ_CACHE, CAP_WRITE_BUFFER
 
+            yield from self._ensure_session()
             want = CAP_READ_CACHE
             if flags.wants_write:
                 want |= CAP_WRITE_BUFFER
             yield from self.cluster.acquire_caps(self.client_id, info.ino, want)
+            self._held_caps[info.ino] = self._held_caps.get(info.ino, 0) | want
             # Holding fresh caps means our attribute view is authoritative;
             # any prior writer flushed during the revocation, so refetch.
             info = yield from self.cluster.mds_call("lookup", path)
             self._remember(path, info)
             self._sizes[info.ino] = max(
                 info.size,
-                self._sizes.get(info.ino, 0) if self._has_dirty(info.ino) else 0,
+                self._sizes.get(info.ino, 0)
+                if self._size_authoritative(info.ino) else 0,
             )
         if flags & OpenFlags.TRUNC and not info.is_dir:
             yield from self._truncate_ino(task, info.ino, path, 0)
@@ -206,7 +235,34 @@ class CephLibClient(Filesystem):
             if path is not None:
                 self.attr_cache.pop(path, None)
             self._seq_end.pop(ino, None)
+        held = self._held_caps.get(ino)
+        if held is not None:
+            held &= ~caps
+            if held:
+                self._held_caps[ino] = held
+            else:
+                del self._held_caps[ino]
         self.metrics.counter("caps_revoked").add(1)
+
+    def _ensure_session(self):
+        """Reestablish the MDS session after an MDS restart (caps mode).
+
+        A restarted MDS lost its caps table; every capability this
+        client held is reacquired under the new session epoch before the
+        triggering operation proceeds — the CephFS session-reconnect
+        protocol.
+        """
+        if self.client_id is None:
+            return
+        epoch = self.cluster.mds.session_epoch
+        if epoch == self._session_epoch:
+            return
+        self._session_epoch = epoch
+        for ino, want in list(self._held_caps.items()):
+            yield from self.cluster.acquire_caps(self.client_id, ino, want)
+        self.metrics.counter("sessions_reestablished").add(1)
+        self.sim.trace("client", "session_reestablish", client=self.name,
+                       epoch=epoch)
 
     def close(self, task, handle):
         yield from task.cpu(self.costs.ceph_client_op / 2)
@@ -347,6 +403,8 @@ class CephLibClient(Filesystem):
         self._sizes.pop(ino, None)
         self._paths.pop(ino, None)
         self._dirty_since.pop(ino, None)
+        self._size_flushing.pop(ino, None)
+        self._held_caps.pop(ino, None)
         self.metrics.counter("unlinks").add(1)
 
     def readdir(self, task, path):
@@ -405,30 +463,93 @@ class CephLibClient(Filesystem):
     # -- flushing -----------------------------------------------------------------
 
     def _flush_ino(self, task, ino, max_bytes=None):
-        """Flush dirty extents of ``ino`` on the caller's thread."""
-        extents = self.cache.take_dirty(ino, max_bytes)
-        if not extents:
-            return 0
-        flushed = 0
-        for offset, data in extents:
-            yield from task.cpu(self.costs.payload_cost(len(data)))
-            yield from self.cluster.write_extent(ino, offset, data)
-            flushed += len(data)
-        path = self._paths.get(ino)
-        if path is not None:
+        """Flush dirty extents of ``ino`` on the caller's thread.
+
+        On a backend failure the unwritten extents are *re-dirtied*
+        before the error propagates — buffered data is never lost to a
+        transient fault; the flusher simply tries again next interval.
+        """
+        # The per-ino lock is held for the whole flush: from take_dirty
+        # until the cluster writes land, the extents are in flight — gone
+        # from the dirty buffer but not yet readable from the OSDs. A read
+        # slipping in between would fetch stale object data, so readers
+        # and writers of this ino wait out the flush (the in-flight "tx"
+        # state of the real ObjectCacher).
+        lock = self._lock(ino)
+        yield lock.acquire(who=task)
+        try:
+            extents = self.cache.take_dirty(ino, max_bytes)
+            if not extents:
+                return 0
+            # Until the MDS size lands the buffer looks clean while the
+            # data is still only ours; pin the local size so a concurrent
+            # revalidating open cannot adopt a stale MDS length.
+            self._size_pin(ino)
             try:
-                info = yield from self.cluster.mds_call(
-                    "setattr_size", path, self._local_size(ino)
-                )
-                self._remember(path, info)
-            except FileNotFound:
-                pass  # concurrently unlinked
+                flushed = 0
+                for position, (offset, data) in enumerate(extents):
+                    try:
+                        yield from task.cpu(self.costs.payload_cost(len(data)))
+                        yield from self.cluster.write_extent(ino, offset, data)
+                    except (FsError, ThreadKilled):
+                        for r_offset, r_data in extents[position:]:
+                            self.cache.write(ino, r_offset, r_data)
+                        self._dirty_since.setdefault(ino, self.sim.now)
+                        self.metrics.counter("flush_failures").add(1)
+                        raise
+                    flushed += len(data)
+                path = self._paths.get(ino)
+                if path is not None:
+                    try:
+                        info = yield from self.cluster.mds_call(
+                            "setattr_size", path, self._local_size(ino)
+                        )
+                        self._remember(path, info)
+                    except FileNotFound:
+                        pass  # concurrently unlinked
+                    except RETRYABLE:
+                        # MDS unreachable: resend the size in the background
+                        # so a later revalidating open never sees a stale
+                        # length.
+                        self.metrics.counter("size_flush_failures").add(1)
+                        self._size_pin(ino)  # released by _resend_size
+                        self.sim.spawn(
+                            self._resend_size(ino),
+                            name="%s.size-resend" % self.name,
+                        )
+            finally:
+                self._size_unpin(ino)
+        finally:
+            lock.release()
         if not self._has_dirty(ino):
             self._dirty_since.pop(ino, None)
         self.metrics.counter("bytes_flushed").add(flushed)
         self.sim.trace("client", "flush", client=self.name, bytes=flushed)
         self._notify_flush_progress()
         return flushed
+
+    def _resend_size(self, ino):
+        """Background retry of a failed MDS size flush (no CPU cost)."""
+        try:
+            delay = self.costs.retry_backoff
+            for _ in range(self.costs.retry_attempts):
+                yield self.sim.timeout(delay)
+                delay = min(delay * 2.0, self.costs.retry_backoff_max)
+                path = self._paths.get(ino)
+                if path is None:
+                    return
+                try:
+                    info = yield from self.cluster.mds_call(
+                        "setattr_size", path, self._local_size(ino)
+                    )
+                except FileNotFound:
+                    return
+                except RETRYABLE:
+                    continue
+                self._remember(path, info)
+                return
+        finally:
+            self._size_unpin(ino)
 
     def _notify_flush_progress(self):
         waiters, self._flush_waiters = self._flush_waiters, []
@@ -486,4 +607,7 @@ class CephLibClient(Filesystem):
 
 def task_flush(client, task, ino):
     """Module-level flush helper (kept separate for ablation hooks)."""
-    yield from client._flush_ino(task, ino, max_bytes=client.costs.flush_batch)
+    try:
+        yield from client._flush_ino(task, ino, max_bytes=client.costs.flush_batch)
+    except FsError:
+        pass  # re-dirtied inside _flush_ino; retried next interval

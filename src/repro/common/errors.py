@@ -3,6 +3,45 @@
 Filesystem errors mirror POSIX errno semantics so that every layer (local
 filesystem, Ceph-like client, union filesystem, Danaus library) raises the
 same exception types and callers can handle them uniformly.
+
+Hierarchy (fault taxonomy in one place):
+
+    =====================  ==========  =========================================
+    Exception              errno       Meaning / recovery contract
+    =====================  ==========  =========================================
+    ReproError             —           base of everything below
+    . SimulationError      —           DES engine misuse (a bug, never retried)
+    . ConfigError          —           invalid experiment configuration
+    . FsError              EIO         POSIX-style filesystem failure (base)
+    . . FileNotFound       ENOENT      missing path
+    . . FileExists         EEXIST      exclusive create collision
+    . . NotADirectory      ENOTDIR     non-directory path component
+    . . IsADirectory       EISDIR      op does not apply to directories
+    . . DirectoryNotEmpty  ENOTEMPTY   rmdir of a populated directory
+    . . PermissionDenied   EACCES      access mode forbids the op
+    . . ReadOnlyFilesystem EROFS       write on a read-only branch
+    . . BadFileDescriptor  EBADF       unknown/closed descriptor
+    . . InvalidArgument    EINVAL      malformed offset/whence/flags
+    . . NoSpace            ENOSPC      backing store full
+    . . NotMounted         ENODEV      nothing mounted at the path
+    . . CrossDevice        EXDEV       rename across filesystems
+    . . DataUnavailable    EIO         every replica of an object is down;
+                                       retryable once an OSD returns
+    . . OpTimeout          ETIMEDOUT   client-side op timeout expired;
+                                       retryable (epoch-aware resend)
+    . . NetworkPartitioned ENETUNREACH link partitioned or message lost;
+                                       retryable after the partition heals
+    . . ServiceRestarting  EAGAIN      Danaus service is down but supervised;
+                                       retryable after the restart completes
+    . ServiceFailed        —           Danaus service crashed, no supervisor
+    . ThreadKilled         —           owning process died; the thread stops
+                                       at its next scheduling point
+    . OutOfMemory          —           simulated cgroup OOM
+    =====================  ==========  =========================================
+
+``RETRYABLE`` collects the transient subset: layers implementing
+retry/backoff (cluster data path, client MDS sessions, Danaus library)
+retry exactly these and propagate everything else immediately.
 """
 
 import errno
@@ -111,9 +150,61 @@ class CrossDevice(FsError):
     default_errno = errno.EXDEV
 
 
+class DataUnavailable(FsError):
+    """EIO: every replica of an object is currently down.
+
+    Raised instead of silently returning truncated data when stored bytes
+    exist only on failed OSDs. Retryable: the data reappears when a
+    holding OSD restarts or recovery re-replicates the object.
+    """
+
+    default_errno = errno.EIO
+
+
+class OpTimeout(FsError):
+    """ETIMEDOUT: a client-side operation timeout expired.
+
+    The request may or may not have executed server-side; data-path
+    retries are idempotent (same bytes, same offsets), so the client
+    resends after a backoff against the current map epoch.
+    """
+
+    default_errno = errno.ETIMEDOUT
+
+
+class NetworkPartitioned(FsError):
+    """ENETUNREACH: the fabric is partitioned or dropped the message."""
+
+    default_errno = errno.ENETUNREACH
+
+
+class ServiceRestarting(FsError):
+    """EAGAIN: a supervised Danaus service is down and being restarted."""
+
+    default_errno = errno.EAGAIN
+
+
 class ServiceFailed(ReproError):
     """A Danaus filesystem service crashed and cannot serve requests."""
 
 
+class ThreadKilled(ReproError):
+    """The process owning this thread died while the thread was running.
+
+    Raised from :meth:`~repro.sim.cpu.SimThread.run` at the thread's next
+    scheduling point, so in-flight handler code of a crashed service stops
+    executing instead of mutating shared state after the crash — a real
+    SIGKILL stops every thread at its current instruction. Handlers abort
+    through their ``finally`` blocks (locks release cleanly), and code
+    holding not-yet-applied state (e.g. a flusher that took dirty extents)
+    must restore it before propagating, exactly as for a backend error.
+    """
+
+
 class OutOfMemory(ReproError):
     """A cgroup memory limit was exceeded (simulated OOM)."""
+
+
+#: Transient failures that retry/backoff layers resend; everything else
+#: propagates to the caller immediately.
+RETRYABLE = (DataUnavailable, OpTimeout, NetworkPartitioned, ServiceRestarting)

@@ -3,6 +3,7 @@
 from repro.core.ipc import DanausIpc, IpcRequest, RequestQueue
 from repro.core.library import FilesystemLibrary
 from repro.core.service import FilesystemInstance, FilesystemService
+from repro.core.supervisor import ServiceSupervisor
 
 __all__ = [
     "DanausIpc",
@@ -11,4 +12,5 @@ __all__ = [
     "FilesystemLibrary",
     "FilesystemInstance",
     "FilesystemService",
+    "ServiceSupervisor",
 ]

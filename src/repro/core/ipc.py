@@ -132,14 +132,26 @@ class DanausIpc(object):
         yield from task.cpu(costs.copy_cost(payload_in))
         return result
 
-    def fail(self):
-        """Drop the service side: error out all queued requests."""
+    def fail(self, make_error=None):
+        """Drop the service side: error out all queued requests.
+
+        ``make_error`` builds the exception delivered to queued callers
+        (defaults to :class:`ServiceFailed`); service threads blocked on
+        an empty queue always get ``ServiceFailed`` — that is their
+        teardown signal, regardless of what the application sees.
+        """
+        if make_error is None:
+            def make_error():
+                return ServiceFailed(
+                    "filesystem service %s died" % self.name
+                )
         self.failed = True
         for queue in self.queues:
             while True:
                 ok, request = queue.store.try_get()
                 if not ok:
                     break
-                request.reply.fail(
-                    ServiceFailed("filesystem service %s died" % self.name)
-                )
+                request.reply.fail(make_error())
+            queue.store.abort_getters(
+                ServiceFailed("filesystem service %s died" % self.name)
+            )

@@ -14,7 +14,12 @@ with :class:`ServiceFailed`, while the host kernel, other pools and other
 services keep running — which a test demonstrates.
 """
 
-from repro.common.errors import NotMounted, ServiceFailed
+from repro.common.errors import (
+    NotMounted,
+    ServiceFailed,
+    ServiceRestarting,
+    ThreadKilled,
+)
 from repro.core.ipc import DanausIpc
 from repro.fs import pathutil
 from repro.fs.api import Task
@@ -55,6 +60,7 @@ class FilesystemService(object):
         self.name = name
         self.pool = pool
         self.pool_cores = list(pool_cores)
+        self.single_queue = single_queue
         self.metrics = metrics if metrics is not None else MetricSet(name)
         self.ipc = DanausIpc(
             sim, machine, costs, pool_cores, name="%s.ipc" % name,
@@ -62,6 +68,16 @@ class FilesystemService(object):
         )
         self.fs_table = {}  # mountpoint -> FilesystemInstance
         self.crashed = False
+        #: set by a ServiceSupervisor watching this service; while
+        #: supervised, a crash surfaces as the retryable ServiceRestarting.
+        self.supervisor = None
+        #: bumps on every restart; threads of older generations exit.
+        self.generation = 0
+        self.crash_event = sim.event(name="%s.crash" % name)
+        # Insertion-ordered (dict, not set): crash() iterates this to fail
+        # replies, and set order over objects would vary run to run.
+        self._inflight = {}  # request -> None, held by service threads
+        self._restart_waiters = []
         self._threads = []
         self._extra_per_queue = {}
         for queue in self.ipc.queues:
@@ -110,40 +126,122 @@ class FilesystemService(object):
     def _service_loop(self, thread, queue):
         task = Task(thread, pool=self.pool)
         costs = self.costs
-        while not self.crashed:
-            request = yield queue.store.get()
-            if self.crashed:
-                request.reply.fail(ServiceFailed("service %s died" % self.name))
-                return
-            yield self.sim.timeout(costs.ipc_poll_latency)
-            yield from task.cpu(costs.ipc_queue_op)
-            self._maybe_scale(queue)
-            handler = getattr(request.fs, request.op)
+        generation = self.generation
+        while not self.crashed and generation == self.generation:
             try:
-                result = yield from handler(task, *request.args)
+                request = yield queue.store.get()
             except ServiceFailed:
-                request.reply.fail(ServiceFailed("service %s died" % self.name))
-                continue
-            except Exception as err:  # noqa: BLE001 - forwarded to the app
-                request.reply.fail(err)
-                continue
-            request.reply.succeed(result)
-            self.metrics.counter("ops_served").add(1)
+                return  # torn down by crash()
+            if self.crashed:
+                if not request.reply.triggered:
+                    request.reply.fail(self._down_error())
+                return
+            self._inflight[request] = None
+            try:
+                try:
+                    yield self.sim.timeout(costs.ipc_poll_latency)
+                    yield from task.cpu(costs.ipc_queue_op)
+                    self._maybe_scale(queue)
+                    handler = getattr(request.fs, request.op)
+                    result = yield from handler(task, *request.args)
+                except (ServiceFailed, ThreadKilled):
+                    # The process died under us: the handler stopped at its
+                    # next scheduling point and unwound cleanly. The crash
+                    # already failed the reply; this thread is gone.
+                    if not request.reply.triggered:
+                        request.reply.fail(self._down_error())
+                    return
+                except Exception as err:  # noqa: BLE001 - forwarded to the app
+                    if not request.reply.triggered:
+                        request.reply.fail(err)
+                    continue
+                # crash() may have failed the reply while the handler ran.
+                if not request.reply.triggered:
+                    request.reply.succeed(result)
+                    self.metrics.counter("ops_served").add(1)
+            finally:
+                self._inflight.pop(request, None)
 
     # -- fault injection -------------------------------------------------------------
 
+    def _down_error(self):
+        if self.supervisor is not None:
+            return ServiceRestarting(
+                "filesystem service %s is restarting" % self.name
+            )
+        return ServiceFailed("filesystem service %s is down" % self.name)
+
     def crash(self):
-        """Kill the service process: all its mounts fail from now on."""
+        """Kill the service process: every queued and in-flight request
+        fails immediately — no caller is ever left blocked on a reply.
+
+        Unsupervised, the mounts stay dead (:class:`ServiceFailed`);
+        under a :class:`~repro.core.supervisor.ServiceSupervisor` callers
+        see the retryable :class:`ServiceRestarting` instead, and the
+        supervisor brings the service back.
+        """
+        if self.crashed:
+            return
         self.crashed = True
-        self.ipc.fail()
+        # SIGKILL semantics: service threads stop at their next scheduling
+        # point instead of finishing in-flight handlers — a dead process
+        # must not keep mutating the pool's shared state.
+        for thread in self._threads:
+            thread.kill()
+        self.ipc.fail(self._down_error)
+        for request in list(self._inflight):
+            if not request.reply.triggered:
+                request.reply.fail(self._down_error())
+        self._inflight.clear()
+        self.sim.trace("svc", "crash", service=self.name)
         self.metrics.counter("crashes").add(1)
+        if not self.crash_event.triggered:
+            self.crash_event.succeed()
+
+    def restart(self):
+        """Bring a crashed service back: fresh IPC segment, fresh threads.
+
+        The object identity is preserved — the fs table, the mounts and
+        every front-driver reference stay valid, like a service process
+        respawned under the same pool with the same shared-memory names.
+        Threads of the previous generation exit on their own.
+        """
+        if not self.crashed:
+            return
+        self.generation += 1
+        self.crashed = False
+        self.ipc = DanausIpc(
+            self.sim, self.machine, self.costs, self.pool_cores,
+            name="%s.ipc" % self.name, single_queue=self.single_queue,
+            metrics=self.metrics,
+        )
+        self._threads = []
+        self._extra_per_queue = {}
+        for queue in self.ipc.queues:
+            self._start_thread(queue, extra=False)
+        self.crash_event = self.sim.event(name="%s.crash" % self.name)
+        self.sim.trace("svc", "restart", service=self.name,
+                       generation=self.generation)
+        self.metrics.counter("restarts").add(1)
+        waiters, self._restart_waiters = self._restart_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_restarted(self):
+        """An event that triggers once the service is up (now, if it is)."""
+        event = self.sim.event(name="%s.restarted" % self.name)
+        if not self.crashed:
+            event.succeed()
+        else:
+            self._restart_waiters.append(event)
+        return event
 
     # -- front-driver entry ------------------------------------------------------------
 
     def call(self, task, instance, op, args, payload_out=0, payload_in=0):
         """Submit one operation against a mounted instance (generator)."""
         if self.crashed:
-            raise ServiceFailed("filesystem service %s is down" % self.name)
+            raise self._down_error()
         return (
             yield from self.ipc.submit(
                 task, instance.stack, op, args,

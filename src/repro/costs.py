@@ -127,6 +127,22 @@ class CostModel(object):
         #: CPU slice used when chopping work onto cores
         self.quantum = units.usec(200)
 
+        # --- fault recovery ---------------------------------------------------
+        #: client-side op timeout before a request is declared lost
+        self.op_timeout = 0.25
+        #: first retry backoff; doubles per attempt (exponential)
+        self.retry_backoff = 0.05
+        #: ceiling of the exponential backoff
+        self.retry_backoff_max = 1.0
+        #: attempts before a retryable failure propagates to the caller
+        self.retry_attempts = 10
+        #: op-timeout reports against one OSD before the monitor marks it
+        #: down (the failure-report quorum of the Ceph heartbeat protocol)
+        self.osd_failure_reports = 2
+        #: supervisor delay between detecting a service crash and the
+        #: restarted service accepting requests again
+        self.restart_delay = 0.5
+
         for key, value in overrides.items():
             if not hasattr(self, key):
                 raise AttributeError("unknown cost field %r" % key)

@@ -1,0 +1,25 @@
+"""Fault injection and chaos testing for the Danaus reproduction.
+
+Three layers (see ``docs/faults.md``):
+
+* **injection** — :class:`FaultPlan` schedules deterministic faults
+  (OSD crashes, slow disks, partitions, MDS outages, service crashes)
+  against a :class:`~repro.world.World`;
+* **recovery** — the client retry/backoff machinery, MDS session
+  reestablishment and :class:`~repro.core.ServiceSupervisor` live with
+  the components they protect (``storage``, ``cephclient``, ``core``);
+* **chaos harness** — :func:`run_chaos` runs a mutating workload under a
+  plan and verifies end-to-end data integrity and convergence.
+"""
+
+from repro.faults.chaos import ChaosFileserver, ChaosResult, run_chaos
+from repro.faults.plan import KINDS, FaultAction, FaultPlan
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "KINDS",
+    "ChaosFileserver",
+    "ChaosResult",
+    "run_chaos",
+]

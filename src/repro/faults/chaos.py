@@ -1,0 +1,271 @@
+"""Chaos harness: run a workload under a fault plan, prove integrity.
+
+``run_chaos`` wires a complete testbed (world, pool, container mount,
+supervised Danaus service), installs a :class:`FaultPlan`, drives a
+mutating workload through the fault windows, waits for the system to
+*converge* (every fault healed, every retry drained, dirty data flushed)
+and then verifies end-to-end data integrity: every file whose last write
+was acknowledged must read back with exactly the acknowledged content.
+
+Files whose last write *failed* (an error surfaced to the application)
+are excluded — the workload cannot know how much of that write landed —
+which mirrors what a real application can assume from POSIX error
+returns.
+
+The whole pipeline is deterministic: two calls with the same seed yield
+identical fault logs, identical op counts and identical file digests.
+"""
+
+import hashlib
+
+from repro.common import units
+from repro.common.errors import FsError, SimulationError
+from repro.core import ServiceSupervisor
+from repro.faults.plan import FaultPlan
+from repro.stacks import StackFactory
+from repro.workloads.base import Workload
+from repro.world import World
+
+__all__ = ["ChaosFileserver", "ChaosResult", "run_chaos"]
+
+#: Marks a file whose on-disk content cannot be asserted (failed write).
+UNKNOWN = "unknown"
+
+#: Settling time after the last fault heals, before verification.
+SETTLE_TIME = 3.0
+
+
+class ChaosFileserver(Workload):
+    """A mutating fileserver that remembers what it acknowledged.
+
+    Each worker owns a disjoint slice of the file set (no cross-thread
+    write races), overwrites its files with deterministic payloads and
+    re-reads them while faults fire. The expected-content registry maps
+    every file to the payload tag of its last *acknowledged* write; a
+    write that errored marks the file :data:`UNKNOWN` until it is
+    successfully overwritten.
+    """
+
+    name = "chaos-fileserver"
+
+    def __init__(self, fs, pool, duration=12.0, threads=2, nfiles=24,
+                 mean_size=32 * 1024, seed=0, directory="/chaos"):
+        super().__init__(fs, pool, duration=duration, threads=threads,
+                         seed=seed)
+        self.nfiles = nfiles
+        self.mean_size = mean_size
+        self.directory = directory
+        self.expected = {}  # index -> (size, tag) | UNKNOWN
+        self.read_mismatches = []  # online read-back failures
+
+    def _path(self, index):
+        return "%s/f%04d" % (self.directory, index)
+
+    def _payload_for(self, index, worker_id, round_no, rng):
+        size = max(int(self.mean_size * rng.uniform(0.5, 1.5)), 4096)
+        tag = (index, worker_id, round_no)
+        return size, tag, self.payload(size, tag)
+
+    def setup(self, task):
+        yield from self.fs.makedirs(task, self.directory)
+
+    def worker(self, task, worker_id, rng):
+        owned = [
+            index for index in range(self.nfiles)
+            if index % self.threads == worker_id
+        ]
+        round_no = 0
+        while not self.expired:
+            round_no += 1
+            index = owned[rng.randrange(len(owned))]
+            size, tag, data = self._payload_for(index, worker_id, round_no, rng)
+            self.expected[index] = UNKNOWN  # in flight: content undecided
+            try:
+                yield from self.timed_op(
+                    self.fs.write_file(task, self._path(index), data)
+                )
+            except FsError:
+                self.result.errors += 1
+                continue
+            self.expected[index] = (size, tag)
+            self.result.bytes_written += size
+            if self.expired:
+                break
+            check = owned[rng.randrange(len(owned))]
+            expectation = self.expected.get(check)
+            try:
+                got = yield from self.timed_op(
+                    self.fs.read_file(task, self._path(check))
+                )
+            except FsError:
+                self.result.errors += 1
+                continue
+            self.result.bytes_read += len(got)
+            if expectation not in (None, UNKNOWN) \
+                    and self.expected.get(check) is expectation:
+                want_size, want_tag = expectation
+                want = self.payload(want_size, want_tag)
+                if got != want:
+                    diff_at = next(
+                        (i for i, (a, b) in enumerate(zip(got, want))
+                         if a != b),
+                        min(len(got), len(want)),
+                    )
+                    self.read_mismatches.append(
+                        (check, want_tag, round(self.sim.now, 6),
+                         len(got), want_size, diff_at)
+                    )
+
+    # -- final verification ------------------------------------------------
+
+    def verify(self, task):
+        """Re-read every acknowledged file and compare checksums.
+
+        Sim generator; returns ``(digests, checked, skipped, mismatches)``
+        where ``digests`` maps file index to the blake2b hex digest of
+        the bytes read back (the determinism fingerprint).
+        """
+        digests = {}
+        checked = 0
+        skipped = 0
+        mismatches = []
+        for index in sorted(self.expected):
+            expectation = self.expected[index]
+            if expectation is UNKNOWN:
+                skipped += 1
+                continue
+            size, tag = expectation
+            data = yield from self.fs.read_file(task, self._path(index))
+            digests[index] = hashlib.blake2b(data, digest_size=16).hexdigest()
+            checked += 1
+            if data != self.payload(size, tag):
+                mismatches.append((index, tag, len(data), size))
+        return digests, checked, skipped, mismatches
+
+
+class ChaosResult(object):
+    """Outcome of one chaos run: integrity verdict + determinism handles."""
+
+    def __init__(self, seed, plan_log, digests, checked, skipped, mismatches,
+                 read_mismatches, workload_result, converged, retries,
+                 service_restarts):
+        self.seed = seed
+        self.plan_log = plan_log
+        self.digests = digests
+        self.files_checked = checked
+        self.files_skipped = skipped
+        self.mismatches = mismatches
+        self.read_mismatches = read_mismatches
+        self.workload_result = workload_result
+        self.converged = converged
+        self.retries = retries
+        self.service_restarts = service_restarts
+
+    @property
+    def ok(self):
+        return (
+            self.converged
+            and not self.mismatches
+            and not self.read_mismatches
+        )
+
+    def fingerprint(self):
+        """A hashable determinism fingerprint of the whole run."""
+        return (
+            tuple(self.plan_log),
+            tuple(sorted(self.digests.items())),
+            self.workload_result.ops,
+            self.workload_result.bytes_written,
+        )
+
+    def __repr__(self):
+        return "<ChaosResult seed=%s ok=%s checked=%d skipped=%d>" % (
+            self.seed, self.ok, self.files_checked, self.files_skipped,
+        )
+
+
+def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
+              mean_size=32 * 1024, plan=None, supervise=True, until=600.0,
+              osd_crashes=1, partitions=1, service_crashes=1, mds_windows=0,
+              slow_disks=0):
+    """Full chaos pipeline; returns a :class:`ChaosResult`.
+
+    Builds a one-pool testbed of stack ``symbol``, generates (or takes) a
+    fault plan, runs :class:`ChaosFileserver` under it, settles, verifies.
+    """
+    world = World(num_cores=8, ram_bytes=units.gib(16))
+    world.activate_cores(4)
+    pool = world.engine.create_pool(
+        "p0", num_cores=2, ram_bytes=units.gib(4)
+    )
+    factory = StackFactory(world, pool, symbol)
+    mount = factory.mount_root("c0")
+    services = list(pool.services)
+    supervisor = None
+    if supervise and services:
+        supervisor = ServiceSupervisor(world.sim, world.costs)
+        for service in services:
+            supervisor.watch(service)
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed,
+            horizon=duration,
+            num_osds=len(world.cluster.osds),
+            services=[service.name for service in services],
+            osd_crashes=osd_crashes,
+            partitions=partitions,
+            service_crashes=service_crashes if supervise else 0,
+            mds_windows=mds_windows,
+            slow_disks=slow_disks,
+        )
+    workload = ChaosFileserver(
+        mount.fs, pool, duration=duration, threads=threads, nfiles=nfiles,
+        mean_size=mean_size, seed=seed,
+    )
+    plan.install(world, services=services)
+
+    def pipeline():
+        result = yield from workload.run()
+        # Convergence: wait out the plan's last heal, then settle so
+        # retries drain and the flusher pushes re-dirtied data out.
+        remaining = plan.end_time() - world.sim.now
+        if remaining > 0:
+            yield world.sim.timeout(remaining)
+        yield world.sim.timeout(SETTLE_TIME)
+        client = factory._shared.get("lib_client")
+        if client is not None:
+            flush_task = pool.new_task("chaos.flush")
+            yield from client.flush_all(flush_task)
+        yield world.sim.timeout(SETTLE_TIME)
+        verify_task = pool.new_task("chaos.verify")
+        digests, checked, skipped, mismatches = (
+            yield from workload.verify(verify_task)
+        )
+        converged = (
+            world.cluster.inflight_attempts == 0
+            and not world.fabric.partitioned
+            and world.cluster.mds.available
+            and all(not service.crashed for service in services)
+        )
+        return ChaosResult(
+            seed,
+            list(plan.log),
+            digests,
+            checked,
+            skipped,
+            mismatches,
+            list(workload.read_mismatches),
+            result,
+            converged,
+            int(world.cluster.metrics.counter("retries").value),
+            sum(
+                int(service.metrics.counter("restarts").value)
+                for service in services
+            ),
+        )
+
+    process = world.sim.spawn(pipeline(), name="chaos-run")
+    finished = world.sim.run_until(process, world.sim.now + until)
+    if not finished:
+        raise SimulationError("chaos run did not converge by t=%s" % until)
+    return process.value

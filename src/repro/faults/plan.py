@@ -1,0 +1,278 @@
+"""Deterministic fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a seeded schedule of :class:`FaultAction`\\ s over
+one :class:`~repro.world.World`. Every action fires either at a simulated
+time (``at=``) or once the cluster has completed a number of data ops
+(``after_ops=``); windowed actions (``duration=``) heal themselves. The
+plan records every injection in :attr:`FaultPlan.log`, so two runs with
+the same seed produce byte-identical fault schedules — the property the
+chaos tests assert.
+
+Supported action kinds:
+
+=================  ==========================================================
+``osd_crash``      kill OSD ``target`` (daemon dies, device survives)
+``osd_restart``    restart OSD ``target``, mark it up, run recovery
+``disk_slow``      multiply OSD ``target``'s device service time by
+                   ``factor`` (default 4.0) for ``duration`` (or forever)
+``partition``      partition the client-storage fabric for ``duration``
+``link_degrade``   stretch fabric latency by ``delay_factor`` and drop
+                   ``loss_rate`` of messages for ``duration``
+``mds_down``       MDS unavailability window; heals via ``Mds.restart()``
+                   (sessions lost, namespace intact)
+``service_crash``  crash the named Danaus :class:`FilesystemService`
+``flusher_stall``  stall the host kernel's writeback for ``duration``
+=================  ==========================================================
+"""
+
+from repro.common.errors import RETRYABLE, ConfigError
+from repro.common.rng import make_rng
+from repro.metrics import MetricSet
+
+__all__ = ["FaultAction", "FaultPlan", "KINDS"]
+
+KINDS = (
+    "osd_crash",
+    "osd_restart",
+    "disk_slow",
+    "partition",
+    "link_degrade",
+    "mds_down",
+    "service_crash",
+    "flusher_stall",
+)
+
+#: pause between recovery attempts when the fabric is still partitioned.
+_RECOVER_RETRY_DELAY = 0.25
+
+
+class FaultAction(object):
+    """One scheduled fault: a kind, a trigger, an optional heal window."""
+
+    __slots__ = ("kind", "at", "after_ops", "target", "duration", "params")
+
+    def __init__(self, kind, at=None, after_ops=None, target=None,
+                 duration=None, **params):
+        if kind not in KINDS:
+            raise ConfigError("unknown fault kind %r" % kind)
+        if (at is None) == (after_ops is None):
+            raise ConfigError(
+                "fault %r needs exactly one of at=/after_ops=" % kind
+            )
+        self.kind = kind
+        self.at = at
+        self.after_ops = after_ops
+        self.target = target
+        self.duration = duration
+        self.params = params
+
+    def __repr__(self):
+        trigger = (
+            "at=%.3f" % self.at if self.at is not None
+            else "after_ops=%d" % self.after_ops
+        )
+        return "<FaultAction %s %s target=%r>" % (self.kind, trigger,
+                                                  self.target)
+
+
+class FaultPlan(object):
+    """A seeded, reproducible schedule of faults over one world."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.actions = []
+        #: fired injections, in order: (sim_time, event, kind, target).
+        self.log = []
+        self.metrics = MetricSet("faults")
+        self._world = None
+        self._services = {}
+        self._op_triggers = []
+        self._installed = False
+
+    # -- authoring -------------------------------------------------------
+
+    def schedule(self, kind, at=None, after_ops=None, target=None,
+                 duration=None, **params):
+        """Add one action; returns it (plans are built before install)."""
+        if self._installed:
+            raise ConfigError("plan already installed")
+        action = FaultAction(kind, at=at, after_ops=after_ops, target=target,
+                             duration=duration, **params)
+        self.actions.append(action)
+        return action
+
+    @classmethod
+    def generate(cls, seed, horizon, num_osds, services=(), osd_crashes=1,
+                 partitions=1, service_crashes=1, mds_windows=0,
+                 slow_disks=0):
+        """A random-but-reproducible plan over ``horizon`` seconds.
+
+        Every crash gets a matching restart and every window heals well
+        inside the horizon, so a workload outliving the plan converges.
+        """
+        rng = make_rng(seed, "fault-plan")
+        plan = cls(seed)
+        for _ in range(osd_crashes):
+            osd = rng.randrange(num_osds)
+            start = horizon * rng.uniform(0.15, 0.40)
+            plan.schedule("osd_crash", at=start, target=osd)
+            plan.schedule(
+                "osd_restart",
+                at=start + horizon * rng.uniform(0.10, 0.25),
+                target=osd,
+            )
+        for _ in range(partitions):
+            plan.schedule(
+                "partition",
+                at=horizon * rng.uniform(0.45, 0.60),
+                duration=horizon * rng.uniform(0.03, 0.08),
+            )
+        services = list(services)
+        for _ in range(service_crashes if services else 0):
+            plan.schedule(
+                "service_crash",
+                at=horizon * rng.uniform(0.30, 0.75),
+                target=services[rng.randrange(len(services))],
+            )
+        for _ in range(mds_windows):
+            plan.schedule(
+                "mds_down",
+                at=horizon * rng.uniform(0.20, 0.70),
+                duration=horizon * rng.uniform(0.02, 0.05),
+            )
+        for _ in range(slow_disks):
+            plan.schedule(
+                "disk_slow",
+                at=horizon * rng.uniform(0.20, 0.60),
+                target=rng.randrange(num_osds),
+                duration=horizon * rng.uniform(0.10, 0.20),
+                factor=float(rng.choice([2, 4, 8])),
+            )
+        return plan
+
+    def end_time(self):
+        """Sim time by which every timed action has fired and healed."""
+        end = 0.0
+        for action in self.actions:
+            if action.at is None:
+                continue
+            end = max(end, action.at + (action.duration or 0.0))
+        return end
+
+    # -- installation ----------------------------------------------------
+
+    def install(self, world, services=()):
+        """Arm the world and start the injection driver; returns self.
+
+        ``services`` are the Danaus services addressable by
+        ``service_crash`` actions (by ``.name``).
+        """
+        self._world = world
+        self._services = {service.name: service for service in services}
+        for action in self.actions:
+            if action.kind == "service_crash" \
+                    and action.target not in self._services:
+                raise ConfigError(
+                    "service_crash target %r not installed" % action.target
+                )
+        world.cluster.arm_faults()
+        timed = sorted(
+            (action for action in self.actions if action.at is not None),
+            key=lambda action: action.at,
+        )
+        self._op_triggers = sorted(
+            (action for action in self.actions if action.after_ops is not None),
+            key=lambda action: action.after_ops,
+        )
+        if self._op_triggers:
+            world.cluster.add_op_hook(self._on_op)
+        world.sim.spawn(self._driver(timed), name="fault-driver")
+        self._installed = True
+        return self
+
+    # -- firing ----------------------------------------------------------
+
+    def _on_op(self):
+        count = self._world.cluster.op_count
+        while self._op_triggers and self._op_triggers[0].after_ops <= count:
+            action = self._op_triggers.pop(0)
+            self._world.sim.spawn(
+                self._fire(action), name="fault:%s" % action.kind
+            )
+
+    def _driver(self, timed):
+        sim = self._world.sim
+        for action in timed:
+            if action.at > sim.now:
+                yield sim.timeout(action.at - sim.now)
+            yield from self._fire(action)
+
+    def _log(self, action, event):
+        sim = self._world.sim
+        self.log.append((round(sim.now, 9), event, action.kind, action.target))
+        self.metrics.counter("events").add(1)
+        sim.trace("fault", event, kind=action.kind, target=action.target)
+
+    def _fire(self, action):
+        world = self._world
+        cluster = world.cluster
+        self._log(action, "inject")
+        self.metrics.counter(action.kind).add(1)
+        if action.kind == "osd_crash":
+            cluster.osds[action.target].crash()
+            cluster.monitor.mark_down(action.target)
+        elif action.kind == "osd_restart":
+            cluster.osds[action.target].restart()
+            cluster.monitor.mark_up(action.target)
+            yield from self._recover()
+        elif action.kind == "disk_slow":
+            factor = action.params.get("factor", 4.0)
+            cluster.osds[action.target].device.set_slow_factor(factor)
+            if action.duration:
+                world.sim.spawn(self._heal(action), name="fault-heal")
+        elif action.kind == "partition":
+            world.fabric.set_partitioned(True)
+            if action.duration:
+                world.sim.spawn(self._heal(action), name="fault-heal")
+        elif action.kind == "link_degrade":
+            world.fabric.set_degraded(
+                delay_factor=action.params.get("delay_factor", 1.0),
+                loss_rate=action.params.get("loss_rate", 0.0),
+                rng=make_rng(self.seed, "link-loss", len(self.log)),
+            )
+            if action.duration:
+                world.sim.spawn(self._heal(action), name="fault-heal")
+        elif action.kind == "mds_down":
+            cluster.mds.set_available(False)
+            if action.duration:
+                world.sim.spawn(self._heal(action), name="fault-heal")
+        elif action.kind == "service_crash":
+            self._services[action.target].crash()
+        elif action.kind == "flusher_stall":
+            kernel = world.kernel_for(world.machine)
+            kernel.writeback.stall(action.duration or 1.0)
+        return
+
+    def _heal(self, action):
+        world = self._world
+        yield world.sim.timeout(action.duration)
+        self._log(action, "heal")
+        if action.kind == "partition":
+            world.fabric.set_partitioned(False)
+        elif action.kind == "link_degrade":
+            world.fabric.set_degraded()
+        elif action.kind == "disk_slow":
+            world.cluster.osds[action.target].device.set_slow_factor(1.0)
+        elif action.kind == "mds_down":
+            world.cluster.mds.restart()
+
+    def _recover(self):
+        """Run monitor recovery, riding out a concurrent partition."""
+        monitor = self._world.cluster.monitor
+        for _ in range(20):
+            try:
+                yield from monitor.recover()
+                return
+            except RETRYABLE:
+                yield self._world.sim.timeout(_RECOVER_RETRY_DELAY)
+        self.metrics.counter("recovery_abandoned").add(1)

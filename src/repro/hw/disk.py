@@ -32,6 +32,17 @@ class Disk(object):
         self._queue = Mutex(sim, name="diskq:%s" % name)
         self.bytes_read = 0
         self.bytes_written = 0
+        #: service-time multiplier; >1 models a degraded (slow) device —
+        #: media errors under retry, a failing controller, a noisy
+        #: virtualised neighbour. Set by fault injection.
+        self.slow_factor = 1.0
+
+    def set_slow_factor(self, factor):
+        """Degrade (or restore, with 1.0) the device service time."""
+        if factor < 1.0:
+            raise ValueError("slow factor must be >= 1.0")
+        self.slow_factor = float(factor)
+        self.sim.trace("hw", "disk_degrade", disk=self.name, factor=factor)
 
     def transfer(self, nbytes, write=False, random_access=False, positions=1):
         """Perform one I/O of ``nbytes``; generator completing when done.
@@ -46,7 +57,8 @@ class Disk(object):
                 self.rand_position_time if random_access else self.seq_position_time
             )
             yield self.sim.timeout(
-                position * max(positions, 1) + nbytes / self.bandwidth
+                (position * max(positions, 1) + nbytes / self.bandwidth)
+                * self.slow_factor
             )
         finally:
             self._queue.release()

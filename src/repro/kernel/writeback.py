@@ -40,6 +40,7 @@ class WritebackDaemon(object):
         self._kick_events = []
         self._threads = []
         self._stopped = False
+        self._stalled_until = 0.0
         self.pages_flushed = 0
         for index in range(costs.nr_flushers):
             thread = SimThread(
@@ -66,6 +67,24 @@ class WritebackDaemon(object):
         self._stopped = True
         self._kick()
 
+    def stall(self, duration):
+        """Fault injection: freeze writeback progress for ``duration``.
+
+        Models a hung kernel flusher (device stall, lock convoy). Because
+        the flusher pool is *host-wide*, every colocated container's
+        writers pile up in ``balance_dirty_pages`` for the whole window —
+        the contrast to a Danaus service crash, whose damage stays inside
+        one pool.
+        """
+        self._stalled_until = max(self._stalled_until, self.sim.now + duration)
+        self.sim.trace("wb", "stall", duration=duration)
+        if self.metrics is not None:
+            self.metrics.counter("wb.stalls").add(1)
+
+    def _wait_stall(self):
+        while self.sim.now < self._stalled_until and not self._stopped:
+            yield self.sim.timeout(self._stalled_until - self.sim.now)
+
     # -- flusher threads -----------------------------------------------------
 
     def _kick(self):
@@ -86,6 +105,7 @@ class WritebackDaemon(object):
             yield sim.any_of([sim.timeout(self.costs.writeback_interval), kick])
             if self._stopped:
                 return
+            yield from self._wait_stall()
             # Core stealing: flushers always run on whatever cores are
             # currently activated on the host.
             thread.set_cpuset(self.machine.activated)
@@ -122,6 +142,7 @@ class WritebackDaemon(object):
         """
         costs = self.costs
         batch_pages = max(1, costs.flush_batch // costs.page_size)
+        yield from self._wait_stall()
         while True:
             picked = self.page_cache.pick_flush_batch(
                 cf, batch_pages, now=self.sim.now, min_age=min_age

@@ -8,14 +8,22 @@ queueing closely enough for the throughput shapes the paper reports.
 """
 
 from repro.common import units
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, NetworkPartitioned
 from repro.metrics import MetricSet
 
 __all__ = ["Link", "Fabric"]
 
 
 class Link(object):
-    """A duplex link: ``latency`` + fair-shared ``bandwidth``."""
+    """A duplex link: ``latency`` + fair-shared ``bandwidth``.
+
+    Fault injection (``repro.faults``) can degrade the link: a
+    *partition* makes every transfer fail with
+    :class:`NetworkPartitioned` once the propagation delay has elapsed
+    (the sender learns nothing sooner), ``delay_factor`` stretches the
+    propagation latency (congested or rerouted path), and ``loss_rate``
+    drops individual messages from a seeded deterministic stream.
+    """
 
     #: Transfer granularity; smaller chunks track sharing more accurately
     #: at the cost of more events.
@@ -30,11 +38,45 @@ class Link(object):
         self.bandwidth = float(bandwidth)
         self.latency = latency
         self.active = 0
+        self.partitioned = False
+        self.delay_factor = 1.0
+        self.loss_rate = 0.0
+        self._loss_rng = None
         self.metrics = MetricSet("link:%s" % name)
+
+    # -- fault injection -------------------------------------------------
+
+    def set_partitioned(self, flag):
+        """Partition (or heal) the link; transfers fail while partitioned."""
+        self.partitioned = bool(flag)
+        self.sim.trace("net", "partition" if flag else "heal", link=self.name)
+        if flag:
+            self.metrics.counter("partitions").add(1)
+
+    def set_degraded(self, delay_factor=1.0, loss_rate=0.0, rng=None):
+        """Stretch propagation delay and/or drop a fraction of messages.
+
+        ``rng`` (a seeded ``random.Random``) drives the loss stream so a
+        fault plan reproduces the exact same drops run after run.
+        """
+        if delay_factor < 1.0 or not 0.0 <= loss_rate < 1.0:
+            raise ConfigError("invalid link degradation")
+        self.delay_factor = float(delay_factor)
+        self.loss_rate = float(loss_rate)
+        self._loss_rng = rng
+        self.sim.trace("net", "degrade", link=self.name,
+                       delay_factor=delay_factor, loss_rate=loss_rate)
 
     def transfer(self, nbytes):
         """Move ``nbytes`` across the link; generator until delivered."""
-        yield self.sim.timeout(self.latency)
+        yield self.sim.timeout(self.latency * self.delay_factor)
+        if self.partitioned:
+            self.metrics.counter("partition_drops").add(1)
+            raise NetworkPartitioned("link %s partitioned" % self.name)
+        if self.loss_rate and self._loss_rng is not None \
+                and self._loss_rng.random() < self.loss_rate:
+            self.metrics.counter("messages_lost").add(1)
+            raise NetworkPartitioned("message lost on link %s" % self.name)
         if nbytes <= 0:
             return
         self.active += 1
@@ -60,6 +102,18 @@ class Fabric(object):
     def __init__(self, sim, bandwidth=2.5 * units.GIB, latency=units.usec(40)):
         self.sim = sim
         self.link = Link(sim, bandwidth=bandwidth, latency=latency, name="fabric")
+
+    def set_partitioned(self, flag):
+        """Partition (or heal) the client-to-storage link."""
+        self.link.set_partitioned(flag)
+
+    def set_degraded(self, delay_factor=1.0, loss_rate=0.0, rng=None):
+        """Degrade the client-to-storage link (delay stretch, loss)."""
+        self.link.set_degraded(delay_factor, loss_rate, rng=rng)
+
+    @property
+    def partitioned(self):
+        return self.link.partitioned
 
     def request(self, payload_bytes=0):
         """Send a request of ``payload_bytes`` toward a server."""

@@ -18,7 +18,7 @@ Key concepts:
   per-core utilisation like the paper's line charts.
 """
 
-from repro.common.errors import SimulationError
+from repro.common.errors import SimulationError, ThreadKilled
 from repro.sim.sync import Mutex
 
 __all__ = ["Core", "SimThread", "UtilizationProbe", "DEFAULT_QUANTUM"]
@@ -78,7 +78,8 @@ class SimThread(object):
             and IPC transports record.
     """
 
-    __slots__ = ("sim", "name", "cpuset", "pinned", "ctx_switches", "cpu_time")
+    __slots__ = ("sim", "name", "cpuset", "pinned", "ctx_switches",
+                 "cpu_time", "killed")
 
     def __init__(self, sim, name, cpuset):
         if not cpuset:
@@ -89,6 +90,18 @@ class SimThread(object):
         self.pinned = None
         self.ctx_switches = 0
         self.cpu_time = 0.0
+        self.killed = False
+
+    def kill(self):
+        """Mark the thread dead: its owning process was killed.
+
+        The thread is not interrupted in place (that could leak a held
+        core grant); instead :meth:`run` raises
+        :class:`~repro.common.errors.ThreadKilled` at the next scheduling
+        point, so the executing code unwinds through its ``finally``
+        blocks and stops mutating shared state.
+        """
+        self.killed = True
 
     def pin(self, core):
         """Pin the thread to ``core`` (must be inside the cpuset)."""
@@ -138,6 +151,8 @@ class SimThread(object):
             raise SimulationError("negative cpu time %r" % cpu_seconds)
         remaining = cpu_seconds
         while remaining > 1e-12:
+            if self.killed:
+                raise ThreadKilled("thread %s was killed" % self.name)
             piece = remaining if remaining < quantum else quantum
             core = self.pick_core()
             switched = yield from core.occupy(piece, thread=self)

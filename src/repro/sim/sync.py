@@ -227,6 +227,17 @@ class Store(object):
             self._getters.append(event)
         return event
 
+    def abort_getters(self, exc):
+        """Fail every waiting getter with ``exc``.
+
+        Used to tear down consumer loops when the producer side dies (a
+        crashed Danaus service): a blocked ``get()`` raises ``exc`` in
+        the waiting process instead of leaking forever.
+        """
+        getters, self._getters = self._getters, deque()
+        for event in getters:
+            event.fail(exc)
+
     def try_get(self):
         """Non-blocking take; returns ``(True, item)`` or ``(False, None)``."""
         if self._items:

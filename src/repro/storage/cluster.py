@@ -10,7 +10,12 @@ File data is striped over fixed-size objects (``costs.object_size``);
 object placement is computed client-side through the CRUSH map.
 """
 
-from repro.common.errors import InvalidArgument
+from repro.common.errors import (
+    RETRYABLE,
+    DataUnavailable,
+    InvalidArgument,
+    OpTimeout,
+)
 from repro.metrics import MetricSet
 from repro.storage.crush import CrushMap
 from repro.storage.mds import Mds
@@ -34,11 +39,146 @@ class CephCluster(object):
         self.metrics = MetricSet("cluster")
         self._cap_clients = {}  # client_id -> client (caps-mode only)
         self._next_client_id = 1
+        self._faults_armed = False
+        self._op_hooks = []  # zero-arg callbacks fired after each data op
+        #: completed data ops (reads + writes), drives op-count fault triggers
+        self.op_count = 0
+        #: RPC attempts currently in flight through the retry machinery;
+        #: chaos runs assert this drains to zero at convergence.
+        self.inflight_attempts = 0
 
     @property
     def degraded(self):
         """True while any OSD is marked down."""
         return bool(self.monitor._down)
+
+    # -- retry machinery (active only under faults/degradation) -----------
+
+    def arm_faults(self):
+        """Route every op through the retry/timeout machinery.
+
+        Called by :class:`repro.faults.FaultPlan` on install. Without
+        faults armed (and with the cluster healthy) the fast path skips
+        the attempt/timeout race entirely, so fault-free experiments keep
+        the exact event schedule — and therefore timing — of the
+        pre-fault code.
+        """
+        self._faults_armed = True
+
+    @property
+    def resilient(self):
+        """True when ops must go through the retry/timeout machinery."""
+        return (
+            self._faults_armed
+            or self.degraded
+            or not self.mds.available
+            or any(osd.crashed for osd in self.osds)
+        )
+
+    def add_op_hook(self, callback):
+        """Register a zero-arg callback fired after every data op.
+
+        Fault plans use this for op-count triggers ("crash OSD 3 after
+        500 ops").
+        """
+        self._op_hooks.append(callback)
+
+    def _notify_op(self):
+        self.op_count += 1
+        for callback in list(self._op_hooks):
+            callback()
+
+    def _attempt(self, gen):
+        """Run one RPC attempt; returns ``(ok, value_or_error)``.
+
+        Retryable failures are folded into the tuple so an attempt
+        abandoned by the timeout race can never surface an unobserved
+        exception and abort the whole simulation.
+        """
+        self.inflight_attempts += 1
+        try:
+            value = yield from gen
+            return (True, value)
+        except RETRYABLE as err:
+            return (False, err)
+        finally:
+            self.inflight_attempts -= 1
+
+    def _retry(self, what, resolve, timeout_scale=1):
+        """Retry loop: race each attempt against the client op timeout.
+
+        ``resolve`` re-resolves placement *per attempt* (epoch-aware
+        resend) and returns ``(report_osd, gen)``: the attempt generator
+        plus the OSD to blame if the race timer — rather than the attempt
+        itself — declares the attempt lost (``None`` when blame would be
+        ambiguous, e.g. multi-replica writes). An attempt that loses the
+        race is abandoned, never interrupted: interrupting work blocked
+        inside a server-side semaphore would leak the slot forever, while
+        an abandoned attempt completes harmlessly against idempotent
+        object state.
+        """
+        delay = self.costs.retry_backoff
+        last_err = None
+        for attempt in range(self.costs.retry_attempts):
+            if attempt:
+                self.metrics.counter("retries").add(1)
+                self.sim.trace("cluster", "retry", what=what, attempt=attempt,
+                               error=type(last_err).__name__)
+                yield self.sim.timeout(delay)
+                delay = min(delay * 2.0, self.costs.retry_backoff_max)
+            try:
+                report_osd, gen = resolve()
+            except RETRYABLE as err:
+                last_err = err
+                continue
+            proc = self.sim.spawn(self._attempt(gen), name="rpc:%s" % what)
+            timer = self.sim.timeout(self.costs.op_timeout * timeout_scale)
+            index, value = yield self.sim.any_of([proc, timer])
+            if index == 0:
+                ok, outcome = value
+                if ok:
+                    return outcome
+                last_err = outcome
+            else:
+                last_err = OpTimeout("%s timed out" % what)
+                self.metrics.counter("op_timeouts").add(1)
+            if isinstance(last_err, OpTimeout):
+                blame = getattr(last_err, "osd_id", report_osd)
+                if blame is not None:
+                    self.monitor.report_failure(blame)
+        raise last_err
+
+    def _object_unreachable(self, ino, index):
+        """Stored bytes exist, but on no live OSD (data currently lost).
+
+        Distinguishes *lost* data (every replica on a crashed or down
+        OSD → :class:`DataUnavailable`) from a genuine hole (no replica
+        stored anywhere → reads as zeros/short, never an error).
+        """
+        key = (ino, index)
+        stored = False
+        for osd in self.osds:
+            if key in osd._objects:
+                stored = True
+                if not osd.crashed and self.monitor.is_up(osd.osd_id):
+                    return False
+        return stored
+
+    def _record_stale(self, ino, index):
+        """Mark dead OSDs' copies of an object stale after a resend.
+
+        A write that routed around a dead OSD leaves that OSD's surviving
+        device copy outdated; the monitor drops those copies on
+        ``mark_up`` (the pg-log/backfill analogue) so a restarted OSD can
+        never serve stale bytes.
+        """
+        key = (ino, index)
+        for osd in self.osds:
+            if not (osd.crashed or not self.monitor.is_up(osd.osd_id)):
+                continue
+            if (key in osd._objects
+                    or osd.osd_id in self.crush.placement(ino, index)):
+                self.monitor.record_stale(osd.osd_id, key)
 
     def _read_target(self, ino, index):
         """The OSD id to read an object from, honouring failures."""
@@ -82,55 +222,128 @@ class CephCluster(object):
         """Fetch ``[offset, offset+size)`` of file ``ino`` from the OSDs.
 
         Returns the bytes actually stored (holes read as zeros only within
-        stored objects; fully absent tails return shorter data).
+        stored objects; fully absent tails return shorter data). When
+        every replica of a stored object sits on a crashed or down OSD,
+        the retries exhaust and :class:`DataUnavailable` (EIO) surfaces —
+        never silently-empty data.
         """
+        resilient = self.resilient
         parts = []
         for index, obj_off, length in self.object_extents(offset, size):
-            osd = self.osds[self._read_target(ino, index)]
-            data = yield from self.fabric.rpc(
-                osd.read(ino, index, obj_off, length),
+            if resilient:
+                data = yield from self._resilient_read(
+                    ino, index, obj_off, length
+                )
+            else:
+                osd = self.osds[self._read_target(ino, index)]
+                data = yield from self.fabric.rpc(
+                    osd.read(ino, index, obj_off, length),
+                    send_bytes=0,
+                    recv_bytes=length,
+                )
+            parts.append(data)
+        self.metrics.counter("read_bytes").add(size)
+        self._notify_op()
+        return b"".join(parts)
+
+    def _resilient_read(self, ino, index, obj_off, length):
+        def resolve():
+            if self._object_unreachable(ino, index):
+                raise DataUnavailable(
+                    "no live replica of object (%d, %d)" % (ino, index)
+                )
+            osd_id = self._read_target(ino, index)
+            gen = self.fabric.rpc(
+                self.osds[osd_id].read(ino, index, obj_off, length),
                 send_bytes=0,
                 recv_bytes=length,
             )
-            parts.append(data)
-        self.metrics.counter("read_bytes").add(size)
-        return b"".join(parts)
+            return osd_id, gen
+
+        return (yield from self._retry("read", resolve))
 
     def write_extent(self, ino, offset, data):
         """Write ``data`` at ``offset`` of file ``ino`` to all replicas."""
+        resilient = self.resilient
         position = 0
         for index, obj_off, length in self.object_extents(offset, len(data)):
             piece = bytes(data[position:position + length])
             position += length
-            for osd_id in self._write_targets(ino, index):
-                osd = self.osds[osd_id]
-                yield from self.fabric.rpc(
-                    osd.write(ino, index, obj_off, piece),
-                    send_bytes=length,
-                    recv_bytes=0,
-                )
+            if resilient:
+                yield from self._resilient_write(ino, index, obj_off, piece)
+            else:
+                for osd_id in self._write_targets(ino, index):
+                    osd = self.osds[osd_id]
+                    yield from self.fabric.rpc(
+                        osd.write(ino, index, obj_off, piece),
+                        send_bytes=length,
+                        recv_bytes=0,
+                    )
         self.metrics.counter("write_bytes").add(len(data))
+        self._notify_op()
         return len(data)
 
+    def _resilient_write(self, ino, index, obj_off, piece):
+        """Replicated object write with per-attempt target re-resolution.
+
+        Each attempt writes the *current* target set sequentially; a
+        mid-attempt failure retries the whole set (rewriting a replica is
+        idempotent: same bytes, same offset). The race timeout scales
+        with the replica count since one attempt covers every copy.
+        """
+        def resolve():
+            targets = self._write_targets(ino, index)
+
+            def attempt():
+                for osd_id in targets:
+                    yield from self.fabric.rpc(
+                        self.osds[osd_id].write(ino, index, obj_off, piece),
+                        send_bytes=len(piece),
+                        recv_bytes=0,
+                    )
+                return len(piece)
+
+            report = targets[0] if len(targets) == 1 else None
+            return report, attempt()
+
+        written = yield from self._retry(
+            "write", resolve, timeout_scale=self.crush.replicas
+        )
+        self._record_stale(ino, index)
+        return written
+
     def truncate(self, ino, size):
-        """Truncate the object set of ``ino`` to ``size`` bytes."""
+        """Truncate the object set of ``ino`` to ``size`` bytes.
+
+        A dead OSD's copy is truncated directly on its device, without
+        cost: the operation lands in the pg log and replays during
+        recovery, so a restarted OSD can never resurrect bytes past EOF.
+        """
         object_size = self.costs.object_size
         keep_objects = (size + object_size - 1) // object_size
         for osd in self.osds:
+            dead = osd.crashed or not self.monitor.is_up(osd.osd_id)
             stale = [
                 (i, o) for (i, o) in list(osd._objects) if i == ino
             ]
             for _ino, index in stale:
                 if index >= keep_objects:
-                    yield from self.fabric.rpc(
-                        osd.truncate(ino, index, 0), send_bytes=0, recv_bytes=0
-                    )
+                    if dead:
+                        osd.apply_truncate(ino, index, 0)
+                    else:
+                        yield from self.fabric.rpc(
+                            osd.truncate(ino, index, 0),
+                            send_bytes=0, recv_bytes=0,
+                        )
                 elif index == keep_objects - 1 and size % object_size:
-                    yield from self.fabric.rpc(
-                        osd.truncate(ino, index, size % object_size),
-                        send_bytes=0,
-                        recv_bytes=0,
-                    )
+                    if dead:
+                        osd.apply_truncate(ino, index, size % object_size)
+                    else:
+                        yield from self.fabric.rpc(
+                            osd.truncate(ino, index, size % object_size),
+                            send_bytes=0,
+                            recv_bytes=0,
+                        )
 
     def peek(self, ino, offset, size):
         """Zero-cost assembly of stored bytes (cache-hit reads).
@@ -197,10 +410,40 @@ class CephCluster(object):
 
     def mds_call(self, op_name, *args, **kwargs):
         """Run an MDS operation over the network; returns its result."""
+        if self.resilient:
+            return self._mds_retry(op_name, args, kwargs)
         op = getattr(self.mds, op_name)
         return self.fabric.rpc(
             op(*args, **kwargs), send_bytes=256, recv_bytes=256
         )
+
+    def _mds_retry(self, op_name, args, kwargs):
+        """Backed-off MDS resend: at-least-once metadata semantics.
+
+        Only transport-level failures (:data:`RETRYABLE`) are retried;
+        filesystem errors (``FileNotFound``, ``FileExists``, …) are real
+        answers and propagate immediately. No race is needed here — a
+        dead MDS raises its own :class:`OpTimeout` after the detection
+        window.
+        """
+        op = getattr(self.mds, op_name)
+        delay = self.costs.retry_backoff
+        last_err = None
+        for attempt in range(self.costs.retry_attempts):
+            if attempt:
+                self.metrics.counter("mds_retries").add(1)
+                self.sim.trace("cluster", "mds_retry", op=op_name,
+                               attempt=attempt,
+                               error=type(last_err).__name__)
+                yield self.sim.timeout(delay)
+                delay = min(delay * 2.0, self.costs.retry_backoff_max)
+            try:
+                return (yield from self.fabric.rpc(
+                    op(*args, **kwargs), send_bytes=256, recv_bytes=256
+                ))
+            except RETRYABLE as err:
+                last_err = err
+        raise last_err
 
     # -- reporting ---------------------------------------------------------------
 

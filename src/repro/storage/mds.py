@@ -10,7 +10,12 @@ A per-inode version counter lets clients validate cached attributes
 cheaply (the revalidate-on-open consistency the clients implement).
 """
 
-from repro.common.errors import FileNotFound, InvalidArgument, IsADirectory
+from repro.common.errors import (
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    OpTimeout,
+)
 from repro.fs.memtree import MemTree
 from repro.metrics import MetricSet
 from repro.sim.sync import Semaphore
@@ -46,7 +51,34 @@ class Mds(object):
         self._slots = Semaphore(sim, costs.mds_concurrency, name="mds")
         self._versions = {}  # ino -> version counter
         self.caps = CapsTable()
+        self.available = True
+        #: bumps on every restart; clients compare it against the epoch
+        #: they opened their session under and reestablish (reacquiring
+        #: caps) when it moved — the CephFS session-reconnect protocol.
+        self.session_epoch = 1
         self.metrics = MetricSet("mds")
+
+    # -- fault injection -------------------------------------------------
+
+    def set_available(self, flag):
+        """Begin (False) or end (True) an unavailability window."""
+        self.available = bool(flag)
+        self.sim.trace("mds", "up" if flag else "down")
+        if not flag:
+            self.metrics.counter("outages").add(1)
+
+    def restart(self):
+        """Recover the MDS: namespace survives, client sessions do not.
+
+        The metadata tree is journal-backed and replays intact; the caps
+        table is session state and is lost, so every caps-mode client
+        must reestablish its session and reacquire its capabilities.
+        """
+        self.caps = CapsTable()
+        self.session_epoch += 1
+        self.available = True
+        self.sim.trace("mds", "restart", session_epoch=self.session_epoch)
+        self.metrics.counter("restarts").add(1)
 
     def _bump(self, node):
         self._versions[node.ino] = self._versions.get(node.ino, 0) + 1
@@ -63,6 +95,11 @@ class Mds(object):
 
     def _op(self):
         """Pay the MDS service cost under the concurrency bound."""
+        if not self.available:
+            # Dead MDS: the request goes unanswered until the client-side
+            # op timeout declares it lost.
+            yield self.sim.timeout(self.costs.op_timeout)
+            raise OpTimeout("mds unavailable")
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.mds_op)

@@ -14,7 +14,7 @@ The paper leaves backend fault tolerance to future work (§9) — this
 module makes the substrate whole enough to test that direction.
 """
 
-from repro.common.errors import FsError
+from repro.common.errors import DataUnavailable
 from repro.metrics import MetricSet
 
 __all__ = ["Monitor"]
@@ -27,6 +27,8 @@ class Monitor(object):
         self.cluster = cluster
         self.epoch = 1
         self._down = set()
+        self._failure_reports = {}  # osd_id -> count of client op timeouts
+        self._stale = {}  # osd_id -> keys rewritten while that OSD was dead
         self.metrics = MetricSet("monitor")
 
     # -- liveness --------------------------------------------------------
@@ -50,10 +52,42 @@ class Monitor(object):
             self.metrics.counter("osd_failures").add(1)
 
     def mark_up(self, osd_id):
-        """Bring an OSD back (empty — recovery must refill it)."""
+        """Bring an OSD back; its device contents decide what it holds.
+
+        Copies of objects that were rewritten while the OSD was dead are
+        dropped first (the pg-log/backfill analogue), so a returning OSD
+        never serves stale bytes; :meth:`recover` then re-replicates.
+        """
+        self._failure_reports.pop(osd_id, None)
+        stale = self._stale.pop(osd_id, ())
+        for ino, index in stale:
+            self.cluster.osds[osd_id].drop_object(ino, index)
+        if stale:
+            self.metrics.counter("stale_dropped").add(len(stale))
         if osd_id in self._down:
             self._down.discard(osd_id)
             self.epoch += 1
+            self.cluster.sim.trace("mon", "osd_up", osd=osd_id,
+                                   epoch=self.epoch)
+
+    def report_failure(self, osd_id):
+        """Client op-timeout report; enough reports mark the OSD down.
+
+        Mirrors the Ceph failure-report path: the monitor declares an OSD
+        down only once ``osd_failure_reports`` independent op timeouts
+        accumulated, so one lost message never reshapes the map.
+        """
+        if osd_id in self._down:
+            return
+        count = self._failure_reports.get(osd_id, 0) + 1
+        self._failure_reports[osd_id] = count
+        if count >= self.cluster.costs.osd_failure_reports:
+            self._failure_reports.pop(osd_id, None)
+            self.mark_down(osd_id)
+
+    def record_stale(self, osd_id, key):
+        """Remember that ``key`` was rewritten while ``osd_id`` was dead."""
+        self._stale.setdefault(osd_id, set()).add(key)
 
     # -- placement under failure ------------------------------------------------
 
@@ -70,7 +104,7 @@ class Monitor(object):
                 continue
             chosen.append(osd_id)
         if not chosen:
-            raise FsError("no OSD available for (%d,%d)" % (ino, index))
+            raise DataUnavailable("no OSD available for (%d,%d)" % (ino, index))
         return chosen
 
     def holders(self, ino, index):

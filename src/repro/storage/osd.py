@@ -10,7 +10,7 @@ Objects hold *real bytes*: the OSD store is the authoritative copy of all
 flushed file data in the simulation.
 """
 
-from repro.common.errors import InvalidArgument
+from repro.common.errors import InvalidArgument, OpTimeout
 from repro.hw.disk import RamDisk
 from repro.metrics import MetricSet
 from repro.sim.sync import Semaphore
@@ -19,7 +19,15 @@ __all__ = ["Osd"]
 
 
 class Osd(object):
-    """One object storage daemon with journal + data on a ramdisk."""
+    """One object storage daemon with journal + data on a ramdisk.
+
+    An OSD can *crash* (fault injection): the daemon process dies but its
+    ramdisk contents survive, exactly like an OSD process kill on the
+    testbed. Requests to a crashed OSD hang until the client-side op
+    timeout expires, then surface as :class:`OpTimeout` — clients report
+    the failure to the monitor and resend against the surviving replicas.
+    ``restart()`` brings the daemon back with its stored objects intact.
+    """
 
     def __init__(self, sim, osd_id, costs, device=None):
         self.sim = sim
@@ -31,7 +39,31 @@ class Osd(object):
         self._slots = Semaphore(sim, costs.osd_concurrency, name="osd%d" % osd_id)
         self._objects = {}  # (ino, index) -> bytearray
         self._by_ino = {}  # ino -> set of indices
+        self.crashed = False
         self.metrics = MetricSet("osd%d" % osd_id)
+
+    # -- fault injection -------------------------------------------------
+
+    def crash(self):
+        """Kill the OSD daemon; the backing device keeps its objects."""
+        self.crashed = True
+        self.sim.trace("osd", "crash", osd=self.osd_id)
+        self.metrics.counter("crashes").add(1)
+
+    def restart(self):
+        """Restart the daemon over the surviving object store."""
+        self.crashed = False
+        self.sim.trace("osd", "restart", osd=self.osd_id)
+
+    def _check_up(self):
+        """Dead-daemon behaviour: silence until the op timeout expires."""
+        if self.crashed:
+            yield self.sim.timeout(self.costs.op_timeout)
+            err = OpTimeout("osd %d is down" % self.osd_id)
+            # Let the retry layer blame the right OSD even when the
+            # timeout surfaces out of a multi-target write attempt.
+            err.osd_id = self.osd_id
+            raise err
 
     # -- server-side operations (sim generators) -------------------------
 
@@ -39,6 +71,7 @@ class Osd(object):
         """Serve an object read; returns the bytes (b'' for a hole)."""
         if offset < 0 or size < 0:
             raise InvalidArgument("negative offset/size")
+        yield from self._check_up()
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
@@ -56,6 +89,7 @@ class Osd(object):
         """Apply an object write: journal first, then the data store."""
         if offset < 0:
             raise InvalidArgument("negative offset")
+        yield from self._check_up()
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
@@ -79,6 +113,7 @@ class Osd(object):
 
     def truncate(self, ino, index, size):
         """Truncate one object (used by file truncation)."""
+        yield from self._check_up()
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
@@ -87,6 +122,19 @@ class Osd(object):
                 del obj[size:]
         finally:
             self._slots.release()
+
+    def apply_truncate(self, ino, index, size):
+        """Apply a truncate directly to the store (recovery replay, no cost)."""
+        obj = self._objects.get((ino, index))
+        if obj is not None:
+            del obj[size:]
+
+    def drop_object(self, ino, index):
+        """Discard one stored object (stale-copy cleanup on recovery)."""
+        if self._objects.pop((ino, index), None) is not None:
+            indices = self._by_ino.get(ino)
+            if indices is not None:
+                indices.discard(index)
 
     # -- maintenance (no cost: background purge) -----------------------------
 

@@ -1,0 +1,464 @@
+"""Tests for the fault-injection subsystem (``repro.faults``).
+
+Covers the three layers of ``docs/faults.md``:
+
+* injection — :class:`FaultPlan` authoring, validation and determinism;
+* recovery — cluster retry/backoff, MDS session reestablishment, service
+  crash semantics and the :class:`ServiceSupervisor`;
+* chaos — end-to-end integrity runs (marked ``chaos``) and the isolation
+  regression the paper's fault-containment story requires (§5): a Danaus
+  service crash delays only its own pool, a kernel flusher stall delays
+  every colocated container.
+"""
+
+import pytest
+
+from repro.cephclient import CephLibClient
+from repro.common import units
+from repro.common.errors import (
+    ConfigError,
+    FsError,
+    OpTimeout,
+    ServiceFailed,
+    ThreadKilled,
+)
+from repro.core import ServiceSupervisor
+from repro.costs import CostModel
+from repro.faults import KINDS, FaultAction, FaultPlan, run_chaos
+from repro.fs.api import OpenFlags
+from repro.net import Fabric
+from repro.stacks import StackFactory
+from repro.storage import CephCluster
+from repro.world import World
+from tests.conftest import make_task, run
+
+
+# --- testbed helpers ---------------------------------------------------------
+
+def make_world(symbol="D", pools=1):
+    """A world with ``pools`` container pools each mounting ``symbol``."""
+    world = World(num_cores=8, ram_bytes=units.gib(16))
+    world.activate_cores(2 * pools)
+    mounted = []
+    for index in range(pools):
+        pool = world.engine.create_pool(
+            "p%d" % index, num_cores=2, ram_bytes=units.gib(4)
+        )
+        factory = StackFactory(world, pool, symbol)
+        mount = factory.mount_root("c%d" % index)
+        mounted.append((pool, factory, mount))
+    return world, mounted
+
+
+# --- fault plan authoring ----------------------------------------------------
+
+def test_fault_action_validates_kind_and_trigger():
+    with pytest.raises(ConfigError):
+        FaultAction("meteor_strike", at=1.0)
+    with pytest.raises(ConfigError):
+        FaultAction("osd_crash")  # no trigger
+    with pytest.raises(ConfigError):
+        FaultAction("osd_crash", at=1.0, after_ops=10)  # two triggers
+    action = FaultAction("osd_crash", at=1.0, target=2)
+    assert action.kind in KINDS
+
+
+def test_fault_plan_generation_is_deterministic():
+    def snapshot(plan):
+        return [
+            (a.kind, a.at, a.after_ops, a.target, a.duration,
+             sorted(a.params.items()))
+            for a in plan.actions
+        ]
+
+    kwargs = dict(
+        horizon=10.0, num_osds=6, services=["p0.fsvc"],
+        osd_crashes=2, partitions=1, service_crashes=1,
+        mds_windows=1, slow_disks=1,
+    )
+    one = FaultPlan.generate(42, **kwargs)
+    two = FaultPlan.generate(42, **kwargs)
+    assert snapshot(one) == snapshot(two)
+    other = FaultPlan.generate(43, **kwargs)
+    assert snapshot(one) != snapshot(other)
+    # Every timed action fires inside the horizon and heals within it.
+    assert 0 < one.end_time() <= 10.0
+
+
+def test_fault_plan_rejects_unknown_service_target():
+    world, [(pool, _factory, _mount)] = make_world()
+    plan = FaultPlan(seed=1)
+    plan.schedule("service_crash", at=0.5, target="nonexistent.fsvc")
+    with pytest.raises(ConfigError):
+        plan.install(world, services=pool.services)
+
+
+def test_op_count_trigger_fires_after_n_ops(sim):
+    costs = CostModel(object_size=units.kib(64))
+    cluster = CephCluster(sim, Fabric(sim), costs, num_osds=4, replicas=2)
+
+    class _W(object):
+        def __init__(self):
+            self.sim = sim
+            self.cluster = cluster
+            self.fabric = cluster.fabric
+
+    world = _W()
+    plan = FaultPlan(seed=0)
+    plan.schedule("partition", after_ops=3, duration=0.05)
+    plan.install(world, services=())
+
+    def proc():
+        for index in range(3):
+            yield from cluster.write_extent(7, index, b"x" * 1024)
+        # The trigger spawns the injection as its own process; give the
+        # partition window (0.05s) time to open and heal.
+        yield sim.timeout(0.2)
+        return cluster.op_count
+
+    run(sim, proc())
+    assert [entry[1:] for entry in plan.log] == [
+        ("inject", "partition", None),
+        ("heal", "partition", None),
+    ]
+
+
+# --- cluster retry / backoff -------------------------------------------------
+
+def test_write_rides_out_unmarked_osd_crash(sim):
+    """A crashed-but-not-yet-marked OSD times ops out; failure reports
+    accumulate at the monitor until it is marked down, then the retry
+    resends against the new map and succeeds."""
+    costs = CostModel(object_size=units.kib(64))
+    cluster = CephCluster(sim, Fabric(sim), costs, num_osds=4, replicas=2)
+    payload = b"r" * units.kib(16)
+
+    def proc():
+        primary = cluster.crush.primary(9, 0)
+        cluster.osds[primary].crash()  # daemon dead, monitor unaware
+        yield from cluster.write_extent(9, 0, payload)
+        return primary, (yield from cluster.read_extent(9, 0, len(payload)))
+
+    primary, data = run(sim, proc())
+    assert data == payload
+    # Timeouts were reported; quorum marked the OSD down and the resend
+    # landed on the surviving replica.
+    assert not cluster.monitor.is_up(primary)
+    assert cluster.metrics.counter("retries").value >= 1
+
+
+def test_ops_ride_out_a_partition(sim):
+    costs = CostModel(object_size=units.kib(64))
+    cluster = CephCluster(sim, Fabric(sim), costs, num_osds=4, replicas=2)
+    cluster.arm_faults()  # partitions leave every OSD up: opt in to retry
+    payload = b"p" * units.kib(8)
+
+    def proc():
+        yield from cluster.write_extent(11, 0, payload)
+        cluster.fabric.set_partitioned(True)
+
+        def heal():
+            yield sim.timeout(0.4)
+            cluster.fabric.set_partitioned(False)
+
+        sim.spawn(heal())
+        start = sim.now
+        data = yield from cluster.read_extent(11, 0, len(payload))
+        return data, sim.now - start
+
+    data, elapsed = run(sim, proc())
+    assert data == payload
+    assert elapsed >= 0.4  # blocked until the partition healed
+
+
+def test_mds_outage_then_restart_recovers_sessions(sim, machine):
+    """MDS restart loses sessions and caps; the client reestablishes its
+    session and reacquires held caps on the next operation."""
+    costs = CostModel(object_size=units.kib(64))
+    cluster = CephCluster(sim, Fabric(sim), costs, num_osds=4, replicas=2)
+    account = machine.ram.child(units.mib(64), "caps.ram")
+    client = CephLibClient(
+        sim, cluster, costs, account, machine.activated, name="caps-client",
+        consistency="caps",
+    )
+    task = make_task(sim, machine)
+
+    def proc():
+        handle = yield from client.open(
+            task, "/session-file", OpenFlags.CREAT | OpenFlags.RDWR
+        )
+        yield from client.write(task, handle, 0, b"pre-restart")
+        yield from client.close(task, handle)
+        epoch_before = cluster.mds.session_epoch
+        cluster.mds.restart()
+        assert cluster.mds.session_epoch == epoch_before + 1
+        # Next open reestablishes the session and reacquires caps.
+        handle = yield from client.open(task, "/session-file", OpenFlags.RDWR)
+        data = yield from client.read(task, handle, 0, 11)
+        yield from client.close(task, handle)
+        return data
+
+    assert run(sim, proc()) == b"pre-restart"
+    assert client.metrics.counter("sessions_reestablished").value >= 1
+
+
+# --- service crash semantics (no caller left blocked) ------------------------
+
+def test_service_crash_fails_queued_and_inflight_requests():
+    """Satellite guarantee: crash() fails every queued and in-flight
+    request immediately — no application thread is ever left blocked on a
+    reply that will never come."""
+    world, [(pool, _factory, mount)] = make_world("D")
+    service = pool.services[0]
+    payload = b"q" * units.kib(64)
+    outcomes = []
+
+    def app(index):
+        task = pool.new_task("app%d" % index)
+        try:
+            # Sync writes keep requests in the service's queue when the
+            # crash lands mid-window.
+            while world.sim.now < 0.5:
+                yield from mount.fs.write_file(
+                    task, "/burst%d" % index, payload, sync=True
+                )
+            outcomes.append("ok")
+        except (ServiceFailed, FsError):
+            outcomes.append("error")
+
+    def crasher():
+        yield world.sim.timeout(0.05)
+        service.crash()
+
+    procs = [world.sim.spawn(app(i)) for i in range(8)]
+    world.sim.spawn(crasher())
+
+    def waiter():
+        yield world.sim.all_of(procs)
+
+    run(world.sim, waiter(), until=5.0)  # completion here IS the assertion
+    assert len(outcomes) == 8
+    assert outcomes.count("error") == 8, "every caller must fail, not block"
+    assert service.crashed
+    # Later calls are refused outright, not queued into the void.
+    def late():
+        task = pool.new_task("late")
+        try:
+            yield from mount.fs.write_file(task, "/late", b"x")
+        except ServiceFailed:
+            return "refused"
+        return "served"
+
+    assert run(world.sim, late(), until=5.0) == "refused"
+
+
+def test_service_threads_stop_at_crash():
+    """SIGKILL semantics: a crashed service's threads abort at their next
+    scheduling point instead of completing in-flight handlers."""
+    world, [(pool, _factory, _mount)] = make_world("D")
+    service = pool.services[0]
+    service.crash()
+    for thread in service._threads:
+        assert thread.killed
+
+    def doomed():
+        task = pool.new_task("doomed")
+        thread = task.thread
+        thread.kill()
+        try:
+            yield from task.cpu(0.001)
+        except ThreadKilled:
+            return "stopped"
+        return "ran"
+
+    assert run(world.sim, doomed()) == "stopped"
+
+
+def test_unsupervised_restart_brings_service_back():
+    world, [(pool, _factory, mount)] = make_world("D")
+    service = pool.services[0]
+
+    def proc():
+        task = pool.new_task("app")
+        yield from mount.fs.write_file(task, "/before", b"alpha")
+        service.crash()
+        try:
+            yield from mount.fs.write_file(task, "/during", b"beta")
+        except ServiceFailed:
+            pass
+        service.restart()
+        yield from mount.fs.write_file(task, "/after", b"gamma")
+        return (yield from mount.fs.read_file(task, "/after"))
+
+    assert run(world.sim, proc(), until=30.0) == b"gamma"
+    assert service.generation == 1
+    assert int(service.metrics.counter("restarts").value) == 1
+
+
+# --- supervised restart ------------------------------------------------------
+
+def test_supervised_crash_is_transparent_to_the_app():
+    """Under a supervisor the crash surfaces as a latency bubble, not an
+    error: the library rides out ServiceRestarting and resubmits."""
+    world, [(pool, _factory, mount)] = make_world("D")
+    service = pool.services[0]
+    supervisor = ServiceSupervisor(world.sim, world.costs)
+    supervisor.watch(service)
+
+    def crasher():
+        yield world.sim.timeout(0.004)
+        service.crash()
+
+    def app():
+        task = pool.new_task("app")
+        gaps = []
+        for index in range(60):
+            start = world.sim.now
+            yield from mount.fs.write_file(
+                task, "/steady", b"s" * 4096
+            )
+            gaps.append(world.sim.now - start)
+        return gaps
+
+    world.sim.spawn(crasher())
+    gaps = run(world.sim, app(), until=30.0)  # no exception: transparent
+    assert len(gaps) == 60
+    assert max(gaps) >= world.costs.restart_delay  # the bubble
+    assert int(service.metrics.counter("restarts").value) == 1
+    assert int(supervisor.metrics.counter("restarts").value) == 1
+
+
+def test_supervisor_replays_buffered_writes_after_restart():
+    """Dirty write-behind data lives in the pool's shared memory and
+    survives the service process; the supervisor flushes it on restart
+    (journal replay), so an acknowledged buffered write is never lost."""
+    world, [(pool, _factory, mount)] = make_world("D")
+    service = pool.services[0]
+    supervisor = ServiceSupervisor(world.sim, world.costs)
+    supervisor.watch(service)
+    payload = b"durable" * 1000
+
+    def proc():
+        task = pool.new_task("app")
+        yield from mount.fs.write_file(task, "/journal", payload)
+        # Acknowledged but still buffered (write-behind): crash now.
+        service.crash()
+        # Ride out restart (0.5s) + replay, then read it back.
+        yield world.sim.timeout(world.costs.restart_delay + 0.5)
+        return (yield from mount.fs.read_file(task, "/journal"))
+
+    assert run(world.sim, proc(), until=30.0) == payload
+    assert not service.crashed
+    assert int(supervisor.metrics.counter("restarts").value) == 1
+    assert (
+        int(supervisor.metrics.counter("replayed_bytes").value)
+        + int(supervisor.metrics.counter("replay_deferred").value)
+    ) > 0
+
+
+# --- isolation regression (the paper's fault-containment story) --------------
+
+def _paced_writers(world, mounted, until_time):
+    """Spawn one sync-writing app per pool; returns completion-time lists."""
+    stamps = [[] for _ in mounted]
+
+    def writer(index, pool, mount):
+        task = pool.new_task("iso%d" % index)
+        data = b"w" * 8192
+        while world.sim.now < until_time:
+            yield from mount.fs.write_file(
+                task, "/iso%d" % index, data, sync=True
+            )
+            stamps[index].append(world.sim.now)
+
+    procs = [
+        world.sim.spawn(writer(i, pool, mount))
+        for i, (pool, _factory, mount) in enumerate(mounted)
+    ]
+    return stamps, procs
+
+
+def _ops_in(stamps, start, end):
+    return sum(1 for t in stamps if start <= t < end)
+
+
+def test_danaus_service_crash_delays_only_its_own_pool():
+    world, mounted = make_world("D", pools=2)
+    pool0 = mounted[0][0]
+    supervisor = ServiceSupervisor(world.sim, world.costs)
+    for service in pool0.services:
+        supervisor.watch(service)
+
+    def crasher():
+        yield world.sim.timeout(1.0)
+        pool0.services[0].crash()
+
+    world.sim.spawn(crasher())
+    stamps, procs = _paced_writers(world, mounted, until_time=2.0)
+
+    def waiter():
+        yield world.sim.all_of(procs)
+
+    run(world.sim, waiter(), until=60.0)
+    window = (1.0, 1.0 + world.costs.restart_delay)
+    control = (0.4, 0.4 + world.costs.restart_delay)
+    p0_window = _ops_in(stamps[0], *window)
+    p1_window = _ops_in(stamps[1], *window)
+    p1_control = _ops_in(stamps[1], *control)
+    # The crashed pool stalls through the restart window...
+    assert p0_window <= 2
+    # ...while the colocated pool keeps its pace.
+    assert p1_window >= 0.5 * p1_control > 0
+
+
+def test_kernel_flusher_stall_delays_every_colocated_pool():
+    """The contrast case: the shared kernel writeback path is a single
+    failure domain — stalling it freezes sync writers of ALL pools."""
+    world, mounted = make_world("K", pools=2)
+    kernel = world.kernel_for(world.machine)
+
+    def staller():
+        yield world.sim.timeout(1.0)
+        kernel.writeback.stall(world.costs.restart_delay)
+
+    world.sim.spawn(staller())
+    stamps, procs = _paced_writers(world, mounted, until_time=2.0)
+
+    def waiter():
+        yield world.sim.all_of(procs)
+
+    run(world.sim, waiter(), until=60.0)
+    window = (1.0, 1.0 + world.costs.restart_delay)
+    control = (0.4, 0.4 + world.costs.restart_delay)
+    for index in range(2):
+        in_window = _ops_in(stamps[index], *window)
+        in_control = _ops_in(stamps[index], *control)
+        assert in_control > 0
+        assert in_window <= 0.5 * in_control, (
+            "pool %d should stall with the shared flusher" % index
+        )
+    assert int(kernel.writeback.metrics.counter("wb.stalls").value) >= 1
+
+
+# --- chaos harness -----------------------------------------------------------
+
+@pytest.mark.chaos
+def test_chaos_run_keeps_acknowledged_data_intact():
+    result = run_chaos(seed=7)
+    assert result.converged
+    assert result.mismatches == []
+    assert result.read_mismatches == []
+    assert result.ok
+    assert result.files_checked > 0
+    assert result.service_restarts >= 1
+    kinds = {entry[2] for entry in result.plan_log}
+    assert {"osd_crash", "partition", "service_crash"} <= kinds
+
+
+@pytest.mark.chaos
+def test_chaos_same_seed_reproduces_identical_run():
+    one = run_chaos(seed=3)
+    two = run_chaos(seed=3)
+    assert one.ok and two.ok
+    assert one.fingerprint() == two.fingerprint()
+    assert one.plan_log == two.plan_log

@@ -182,3 +182,57 @@ def test_property_make_rng_streams_independent(seed):
     b = make_rng(seed, "b").random()
     assert make_rng(seed, "a").random() == a
     assert a != b
+
+
+# --- monitor epoch monotonicity vs a reference model -------------------------
+
+monitor_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["down", "up", "report"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=40,
+)
+
+
+@given(monitor_ops)
+@settings(max_examples=60, deadline=None)
+def test_property_monitor_epoch_monotonic(ops):
+    """The OSD map epoch never decreases and bumps exactly on transitions."""
+    from repro.costs import CostModel
+    from repro.net import Fabric
+    from repro.sim import Simulator
+    from repro.storage import CephCluster
+
+    sim = Simulator()
+    costs = CostModel()
+    cluster = CephCluster(sim, Fabric(sim), costs, num_osds=4, replicas=2)
+    monitor = cluster.monitor
+
+    down = set()
+    reports = {}
+    expected = monitor.epoch
+    for op, osd in ops:
+        before = monitor.epoch
+        if op == "down":
+            monitor.mark_down(osd)
+            if osd not in down:
+                down.add(osd)
+                expected += 1
+        elif op == "up":
+            monitor.mark_up(osd)
+            reports.pop(osd, None)
+            if osd in down:
+                down.remove(osd)
+                expected += 1
+        else:
+            monitor.report_failure(osd)
+            if osd not in down:
+                reports[osd] = reports.get(osd, 0) + 1
+                if reports[osd] >= costs.osd_failure_reports:
+                    reports.pop(osd)
+                    down.add(osd)
+                    expected += 1
+        assert monitor.epoch >= before
+        assert monitor.epoch == expected
+        assert {o for o in range(4) if not monitor.is_up(o)} == down

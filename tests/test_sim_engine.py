@@ -275,3 +275,91 @@ def test_determinism_same_seed_same_trace():
         return order
 
     assert build() == build()
+
+
+def test_event_fail_through_any_of(sim):
+    """A failed input propagates its exception through AnyOf to the waiter."""
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield sim.any_of([gate, sim.timeout(100)])
+        except ValueError as err:
+            return ("caught", str(err), sim.now)
+        return "not raised"
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert proc.value == ("caught", "boom", 1)
+
+
+def test_event_fail_through_all_of(sim):
+    """AllOf surfaces a member failure instead of hanging forever."""
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield sim.all_of([sim.timeout(1), gate])
+        except ValueError:
+            return ("caught", sim.now)
+        return "not raised"
+
+    def failer():
+        yield sim.timeout(2)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert proc.value == ("caught", 2)
+
+
+def test_late_failure_of_any_of_loser_is_harmless(sim):
+    """After AnyOf fires, a losing input may still fail without crashing.
+
+    The retry machinery races an attempt against a timer and abandons the
+    loser; an abandoned event failing later must not take down the run.
+    """
+    gate = sim.event()
+
+    def waiter():
+        index, _value = yield sim.any_of([sim.timeout(1), gate])
+        return index
+
+    def late_failer():
+        yield sim.timeout(2)
+        gate.fail(ValueError("too late"))
+
+    proc = sim.spawn(waiter())
+    sim.spawn(late_failer())
+    sim.run()
+    assert proc.value == 0
+
+
+def test_interrupt_during_timeout_runs_finally_blocks(sim):
+    """An interrupt mid-Timeout unwinds try/finally in the process."""
+    cleaned = []
+
+    def holder():
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            pass
+        finally:
+            cleaned.append(sim.now)
+        return "done"
+
+    def interrupter(target):
+        yield sim.timeout(1)
+        target.interrupt(cause="shutdown")
+
+    target = sim.spawn(holder())
+    sim.spawn(interrupter(target))
+    sim.run()
+    assert cleaned == [1]
+    assert target.value == "done"

@@ -1,8 +1,11 @@
 """Tests for OSD failure handling, degraded I/O and recovery."""
 
+import errno
+
 import pytest
 
 from repro.common import units
+from repro.common.errors import DataUnavailable
 from repro.costs import CostModel
 from repro.net import Fabric
 from repro.storage import CephCluster
@@ -54,10 +57,38 @@ def test_unreplicated_data_lost_on_failure(sim, costs):
         yield from cluster.write_extent(2, 0, payload)
         primary = cluster.crush.primary(2, 0)
         cluster.monitor.mark_down(primary)
+        try:
+            yield from cluster.read_extent(2, 0, len(payload))
+        except DataUnavailable as err:
+            return err
+        return None
+
+    # With one replica on the failed device the read must surface EIO —
+    # never silently return truncated data. The client retries while the
+    # OSD stays down, then propagates.
+    err = run(sim, proc())
+    assert isinstance(err, DataUnavailable)
+    assert err.errno == errno.EIO
+
+
+def test_unreplicated_data_returns_after_osd_recovers(sim, costs):
+    cluster = make_cluster(sim, costs, replicas=1)
+    payload = b"single-copy-come-back"
+
+    def proc():
+        yield from cluster.write_extent(2, 0, payload)
+        primary = cluster.crush.primary(2, 0)
+        cluster.monitor.mark_down(primary)
+
+        def heal():
+            yield sim.timeout(0.3)
+            cluster.monitor.mark_up(primary)
+
+        sim.spawn(heal())
+        # The retry loop rides out the outage and the data reappears.
         return (yield from cluster.read_extent(2, 0, len(payload)))
 
-    # With one replica on the failed device the read finds nothing.
-    assert run(sim, proc()) == b""
+    assert run(sim, proc()) == payload
 
 
 def test_writes_route_around_failed_osd(sim, costs):
