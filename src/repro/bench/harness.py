@@ -50,6 +50,16 @@ class ExperimentResult(object):
             )
         return matches[0][column]
 
+    def to_dict(self):
+        """A JSON-safe dict: measured rows plus the paper expectation."""
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "paper_expectation": self.paper_expectation,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     # -- rendering -----------------------------------------------------------
 
     @staticmethod

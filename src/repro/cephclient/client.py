@@ -84,6 +84,7 @@ class CephLibClient(Filesystem):
         self.fine_grained = fine_grained_locking
         self.readahead_bytes = readahead_bytes
         self.client_lock = Mutex(sim, name="%s.client_lock" % name)
+        sim.register_lock(name, "client_lock", name, self.client_lock)
         self._ino_locks = {}  # fine-grained mode: ino -> Mutex
         self.attr_cache = {}  # path -> InodeInfo (sizes kept current locally)
         self._sizes = {}  # ino -> local authoritative size
@@ -129,6 +130,7 @@ class CephLibClient(Filesystem):
             lock = self._ino_locks[ino] = Mutex(
                 self.sim, name="%s.ino%d" % (self.name, ino)
             )
+            self.sim.register_lock(self.name, "ino_lock", ino, lock)
         return lock
 
     def _locked_cpu(self, task, ino, cpu_seconds):
@@ -243,6 +245,8 @@ class CephLibClient(Filesystem):
             else:
                 del self._held_caps[ino]
         self.metrics.counter("caps_revoked").add(1)
+        self.sim.trace("client", "cap_revoke", client=self.name, ino=ino,
+                       caps=caps)
 
     def _ensure_session(self):
         """Reestablish the MDS session after an MDS restart (caps mode).
@@ -270,6 +274,17 @@ class CephLibClient(Filesystem):
 
     def read(self, task, handle, offset, size):
         ino = self._live_ino(handle)
+        obs = self.sim.observer
+        span = obs.span(task, "client.read", "client", ino=ino,
+                        size=size) if obs is not None else None
+        try:
+            data = yield from self._read(task, ino, offset, size, obs)
+        finally:
+            if span is not None:
+                span.end()
+        return data
+
+    def _read(self, task, ino, offset, size, obs):
         lock = self._lock(ino)
         yield lock.acquire(who=task)
         try:
@@ -282,6 +297,10 @@ class CephLibClient(Filesystem):
                 return b""
             size = min(size, file_size - offset)
             hit_blocks, miss_ranges = self.cache.scan(ino, offset, size)
+            if obs is not None:
+                registry = obs.metrics(self.name)
+                registry.counter("cache_hit_blocks").add(hit_blocks)
+                registry.counter("cache_miss_ranges").add(len(miss_ranges))
             if hit_blocks:
                 yield from task.cpu(self.costs.page_op * hit_blocks)
         finally:
@@ -340,6 +359,17 @@ class CephLibClient(Filesystem):
         ino = self._live_ino(handle)
         if handle.flags & OpenFlags.APPEND:
             offset = self._local_size(ino)
+        obs = self.sim.observer
+        span = obs.span(task, "client.write", "client", ino=ino,
+                        size=len(data)) if obs is not None else None
+        try:
+            written = yield from self._write(task, ino, offset, data)
+        finally:
+            if span is not None:
+                span.end()
+        return written
+
+    def _write(self, task, ino, offset, data):
         lock = self._lock(ino)
         yield lock.acquire(who=task)
         try:
@@ -475,6 +505,17 @@ class CephLibClient(Filesystem):
         # slipping in between would fetch stale object data, so readers
         # and writers of this ino wait out the flush (the in-flight "tx"
         # state of the real ObjectCacher).
+        obs = self.sim.observer
+        span = obs.span(task, "client.flush", "client",
+                        ino=ino) if obs is not None else None
+        try:
+            flushed = yield from self._flush_ino_locked(task, ino, max_bytes)
+        finally:
+            if span is not None:
+                span.end()
+        return flushed
+
+    def _flush_ino_locked(self, task, ino, max_bytes):
         lock = self._lock(ino)
         yield lock.acquire(who=task)
         try:

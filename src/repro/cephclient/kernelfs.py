@@ -99,13 +99,19 @@ class CephKernelFs(Filesystem):
         return self.kernel.machine.ram
 
     def _inode_lock(self, ino):
-        return self.kernel.locks.get("i_mutex_key", (self.fs_id, ino))
+        return self.kernel.locks.get(
+            "i_mutex_key", (self.fs_id, ino), scope=self.name
+        )
 
     def _dir_lock(self, path):
-        return self.kernel.locks.get("i_mutex_dir_key", (self.fs_id, path))
+        return self.kernel.locks.get(
+            "i_mutex_dir_key", (self.fs_id, path), scope=self.name
+        )
 
     def _sb_lock(self):
-        return self.kernel.locks.get("sb_lock", ("cephk", self.fs_id))
+        return self.kernel.locks.get(
+            "sb_lock", ("cephk", self.fs_id), scope=self.name
+        )
 
     def _remember(self, path, info):
         self.attr_cache[path] = info

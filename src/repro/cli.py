@@ -6,9 +6,16 @@ Usage::
     python -m repro run fig6a            # regenerate one figure
     python -m repro run fig6a --quick    # reduced sweep for a fast look
     python -m repro run all              # everything (tens of minutes)
+    python -m repro run fig6a --trace wb,fuse      # record trace events
+    python -m repro run fig6a --profile            # lock/CPU profiles
+    python -m repro run fig6a --profile --report out.json
 
 Each run prints the experiment's report block: the paper's expectation
-followed by the measured rows.
+followed by the measured rows. With ``--trace``/``--profile`` the run is
+observed through :mod:`repro.obs`: a trace summary and the
+lock-contention / core-stealing profiles are printed, and a Chrome
+``trace_event`` JSON (loadable in Perfetto) is written next to the
+report. ``--report`` writes rows + expectations (+ profiles) as JSON.
 """
 
 import argparse
@@ -118,7 +125,28 @@ def cmd_list(_args):
     return 0
 
 
+def _parse_trace_arg(value):
+    """``--trace`` argument -> category set (None/"all" = everything)."""
+    if value is None or value == "all":
+        return None
+    return {part.strip() for part in value.split(",") if part.strip()}
+
+
+def _trace_path_for(args, name):
+    """Where the Chrome trace of experiment ``name`` is written."""
+    import os
+
+    if args.report:
+        stem, _ext = os.path.splitext(args.report)
+        if args.experiment == "all":
+            return "%s.%s.trace.json" % (stem, name)
+        return "%s.trace.json" % stem
+    return "%s.trace.json" % name
+
+
 def cmd_run(args):
+    from repro import obs
+
     registry = _experiments()
     names = sorted(registry) if args.experiment == "all" else [args.experiment]
     unknown = [name for name in names if name not in registry]
@@ -127,17 +155,76 @@ def cmd_run(args):
               file=sys.stderr)
         print("try: python -m repro list", file=sys.stderr)
         return 2
-    for name in names:
-        experiment = registry[name](args.quick)
-        started = time.time()
-        result = experiment.run()
-        print(result.report())
-        chart = _chart_for(result)
-        if chart:
-            print(chart)
-        print("(%.0fs wall-clock)" % (time.time() - started))
-        print()
+    observing = args.profile or args.trace is not None
+    report = {"experiments": []} if args.report else None
+    try:
+        for name in names:
+            if observing:
+                # Arm auto-observation: experiments build their worlds
+                # internally (one per sweep row), and each new World
+                # attaches an observer with this spec.
+                obs.reset_attached()
+                obs.set_default(categories=_parse_trace_arg(args.trace))
+            experiment = registry[name](args.quick)
+            started = time.time()
+            result = experiment.run()
+            print(result.report())
+            chart = _chart_for(result)
+            if chart:
+                print(chart)
+            entry = result.to_dict() if report is not None else None
+            if observing:
+                entry = _emit_profile(args, name, obs.attached(), entry)
+            if report is not None:
+                report["experiments"].append(entry)
+            print("(%.0fs wall-clock)" % (time.time() - started))
+            print()
+    finally:
+        obs.clear_default()
+        obs.reset_attached()
+    if report is not None:
+        import json
+
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print("report written to %s" % args.report)
     return 0
+
+
+def _emit_profile(args, name, observers, entry):
+    """Print profile tables; write the Chrome trace; extend the report."""
+    from repro import obs
+
+    merged = obs.merge_profiles(observers)
+    if args.profile:
+        print()
+        print("lock contention (wait/hold per class, per pool):")
+        print(obs.format_lock_table(merged["lock_contention"]))
+        steal = merged["core_steal"]
+        if steal:
+            print()
+            print("core stealing (foreign CPU on pool-reserved cores):")
+            print(obs.format_core_steal(steal))
+    if args.trace is not None:
+        print()
+        print("trace summary:")
+        print(obs.format_trace_summary(
+            [((row["category"], row["name"]), row["count"])
+             for row in merged["trace_summary"]]
+        ))
+    trace_path = _trace_path_for(args, name)
+    trace = obs.chrome_trace(observers)
+    import json
+
+    with open(trace_path, "w") as handle:
+        json.dump(trace, handle)
+    print()
+    print("chrome trace (%d events) written to %s"
+          % (len(trace["traceEvents"]), trace_path))
+    if entry is not None:
+        merged["chrome_trace"] = trace_path
+        entry["profile"] = merged
+    return entry
 
 
 def _chart_for(result):
@@ -183,6 +270,22 @@ def main(argv=None):
     run_parser.add_argument(
         "--quick", action="store_true",
         help="reduced sweep for a fast look",
+    )
+    run_parser.add_argument(
+        "--trace", metavar="CAT[,CAT]", default=None,
+        help="record trace events of these categories ('all' for every "
+             "category) and print a summary; also writes a Chrome trace",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the observer and print lock-contention and "
+             "core-stealing profiles; writes a Chrome trace_event JSON "
+             "loadable in Perfetto",
+    )
+    run_parser.add_argument(
+        "--report", metavar="OUT.json", default=None,
+        help="write measured rows + paper expectations (and profiles, "
+             "when observing) as structured JSON",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

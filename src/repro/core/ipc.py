@@ -123,13 +123,24 @@ class DanausIpc(object):
         queue = self.queue_for(task.thread)
         self.pin_to_queue(task.thread, queue)
         costs = self.costs
-        yield from task.cpu(costs.ipc_queue_op + costs.copy_cost(payload_out))
-        request = IpcRequest(self.sim, fs, op, args, payload_out)
-        yield queue.store.put(request)
-        self.sim.trace("ipc", "submit", queue=queue.name, op=op)
-        self.metrics.counter("requests").add(1)
-        result = yield request.reply
-        yield from task.cpu(costs.copy_cost(payload_in))
+        obs = self.sim.observer
+        span = obs.span(task, "ipc.submit", "ipc", queue=queue.name,
+                        op=op) if obs is not None else None
+        try:
+            yield from task.cpu(
+                costs.ipc_queue_op + costs.copy_cost(payload_out)
+            )
+            request = IpcRequest(self.sim, fs, op, args, payload_out)
+            yield queue.store.put(request)
+            self.sim.trace("ipc", "submit", queue=queue.name, op=op)
+            if obs is not None:
+                obs.sample("qdepth:%s" % queue.name, queue.backlog)
+            self.metrics.counter("requests").add(1)
+            result = yield request.reply
+            yield from task.cpu(costs.copy_cost(payload_in))
+        finally:
+            if span is not None:
+                span.end()
         return result
 
     def fail(self, make_error=None):

@@ -143,7 +143,16 @@ class FilesystemService(object):
                     yield from task.cpu(costs.ipc_queue_op)
                     self._maybe_scale(queue)
                     handler = getattr(request.fs, request.op)
-                    result = yield from handler(task, *request.args)
+                    obs = self.sim.observer
+                    span = obs.span(
+                        task, "svc.handle", "svc", service=self.name,
+                        op=request.op,
+                    ) if obs is not None else None
+                    try:
+                        result = yield from handler(task, *request.args)
+                    finally:
+                        if span is not None:
+                            span.end()
                 except (ServiceFailed, ThreadKilled):
                     # The process died under us: the handler stopped at its
                     # next scheduling point and unwound cleanly. The crash

@@ -102,20 +102,29 @@ class FuseTransport(Filesystem):
         """One FUSE round trip; returns the daemon's result."""
         if self._failed:
             raise ServiceFailed("fuse daemon %s died" % self.name)
+        obs = self.sim.observer
+        span = obs.span(task, "fuse.call", "fuse", transport=self.name,
+                        op=op) if obs is not None else None
         costs = self.costs
-        yield from task.cpu(
-            costs.fuse_queue_op + costs.copy_cost(payload_out)
-        )
-        request = _FuseRequest(self.sim, op, args, payload_out)
-        yield self._queue.put(request)
-        self.sim.trace("fuse", "call", transport=self.name, op=op)
-        self.metrics.counter("fuse_calls").add(1)
-        self.metrics.counter("ctx_switches").add(costs.fuse_switches_per_call)
-        result = yield request.reply
-        # The caller resumes: pays its switch-in and the reply copy.
-        yield from task.cpu(
-            costs.context_switch + costs.copy_cost(payload_in)
-        )
+        try:
+            yield from task.cpu(
+                costs.fuse_queue_op + costs.copy_cost(payload_out)
+            )
+            request = _FuseRequest(self.sim, op, args, payload_out)
+            yield self._queue.put(request)
+            self.sim.trace("fuse", "call", transport=self.name, op=op)
+            self.metrics.counter("fuse_calls").add(1)
+            self.metrics.counter("ctx_switches").add(
+                costs.fuse_switches_per_call
+            )
+            result = yield request.reply
+            # The caller resumes: pays its switch-in and the reply copy.
+            yield from task.cpu(
+                costs.context_switch + costs.copy_cost(payload_in)
+            )
+        finally:
+            if span is not None:
+                span.end()
         return result
 
     def _daemon_loop(self, thread):

@@ -169,10 +169,20 @@ class Vfs(Filesystem):
 
     # -- Filesystem interface -------------------------------------------------
 
+    def _span(self, task, name, **args):
+        """An open syscall span, or None when no observer is attached."""
+        obs = self.sim.observer
+        return obs.span(task, name, "vfs", **args) if obs is not None else None
+
     def open(self, task, path, flags=OpenFlags.RDONLY, mode=0o644):
-        yield from self._enter(task, path)
-        fs, inner_path = self.resolve(path)
-        inner = yield from fs.open(task, inner_path, flags, mode)
+        span = self._span(task, "vfs.open", path=path)
+        try:
+            yield from self._enter(task, path)
+            fs, inner_path = self.resolve(path)
+            inner = yield from fs.open(task, inner_path, flags, mode)
+        finally:
+            if span is not None:
+                span.end()
         return _VfsHandle(self, path, flags, fs, inner)
 
     def close(self, task, handle):
@@ -181,20 +191,39 @@ class Vfs(Filesystem):
         handle.closed = True
 
     def read(self, task, handle, offset, size):
-        yield from self._enter(task)
-        data = yield from handle.inner_fs.read(task, handle.inner, offset, size)
-        yield from self.kernel.copy_to_user(task, len(data))
+        span = self._span(task, "vfs.read", size=size)
+        try:
+            yield from self._enter(task)
+            data = yield from handle.inner_fs.read(
+                task, handle.inner, offset, size
+            )
+            yield from self.kernel.copy_to_user(task, len(data))
+        finally:
+            if span is not None:
+                span.end()
         return data
 
     def write(self, task, handle, offset, data):
-        yield from self._enter(task)
-        yield from self.kernel.copy_from_user(task, len(data))
-        written = yield from handle.inner_fs.write(task, handle.inner, offset, data)
+        span = self._span(task, "vfs.write", size=len(data))
+        try:
+            yield from self._enter(task)
+            yield from self.kernel.copy_from_user(task, len(data))
+            written = yield from handle.inner_fs.write(
+                task, handle.inner, offset, data
+            )
+        finally:
+            if span is not None:
+                span.end()
         return written
 
     def fsync(self, task, handle):
-        yield from self._enter(task)
-        yield from handle.inner_fs.fsync(task, handle.inner)
+        span = self._span(task, "vfs.fsync")
+        try:
+            yield from self._enter(task)
+            yield from handle.inner_fs.fsync(task, handle.inner)
+        finally:
+            if span is not None:
+                span.end()
 
     def stat(self, task, path):
         yield from self._enter(task, path)

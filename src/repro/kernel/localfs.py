@@ -98,13 +98,19 @@ class LocalFs(Filesystem):
         return self.kernel.machine.ram
 
     def _inode_lock(self, node):
-        return self.kernel.locks.get("i_mutex_key", (self.fs_id, node.ino))
+        return self.kernel.locks.get(
+            "i_mutex_key", (self.fs_id, node.ino), scope=self.name
+        )
 
     def _dir_lock(self, node):
-        return self.kernel.locks.get("i_mutex_dir_key", (self.fs_id, node.ino))
+        return self.kernel.locks.get(
+            "i_mutex_dir_key", (self.fs_id, node.ino), scope=self.name
+        )
 
     def _sb_lock(self):
-        return self.kernel.locks.get("sb_lock", ("localfs", self.fs_id))
+        return self.kernel.locks.get(
+            "sb_lock", ("localfs", self.fs_id), scope=self.name
+        )
 
     def _inode_hash_lock(self):
         return self.kernel.locks.get("inode_hash_lock")

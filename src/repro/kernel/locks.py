@@ -35,13 +35,23 @@ class LockRegistry(object):
         self.sim = sim
         self._locks = {}  # (lock_class, instance) -> Mutex
 
-    def get(self, lock_class, instance=GLOBAL_INSTANCE):
-        """The mutex for ``(lock_class, instance)``, created on first use."""
+    def get(self, lock_class, instance=GLOBAL_INSTANCE, scope=None):
+        """The mutex for ``(lock_class, instance)``, created on first use.
+
+        ``scope`` names the owner for contention profiling — a mount
+        (``"fls0.cephk"``), or ``"kernel"`` for host-global classes (the
+        default). It only matters on the creating call; later lookups of
+        the same key may omit it.
+        """
         key = (lock_class, instance)
         lock = self._locks.get(key)
         if lock is None:
             lock = Mutex(self.sim, name="%s[%s]" % (lock_class, instance))
             self._locks[key] = lock
+            self.sim.register_lock(
+                scope if scope is not None else "kernel",
+                lock_class, instance, lock,
+            )
         return lock
 
     def classes(self):

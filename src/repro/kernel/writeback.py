@@ -143,29 +143,38 @@ class WritebackDaemon(object):
         costs = self.costs
         batch_pages = max(1, costs.flush_batch // costs.page_size)
         yield from self._wait_stall()
-        while True:
-            picked = self.page_cache.pick_flush_batch(
-                cf, batch_pages, now=self.sim.now, min_age=min_age
-            )
-            if not picked:
-                return
-            # CPU to assemble the writeback batch, on *this* thread's cores.
-            yield from thread.run(
-                costs.flush_page_op * len(picked), quantum=costs.quantum
-            )
-            nbytes = len(picked) * costs.page_size
-            if cf.flush_fn is None:
-                raise SimulationError("dirty file %r has no flush_fn" % (cf.key,))
-            yield from cf.flush_fn(nbytes, picked)
-            self.page_cache.clean(cf, picked)
-            self.pages_flushed += len(picked)
-            self.sim.trace("wb", "flush", file=str(cf.key), pages=len(picked))
-            if self.metrics is not None:
-                self.metrics.counter("wb.pages_flushed").add(len(picked))
-            self._notify_progress()
-            if not all_pages and min_age is not None:
-                # Expire-driven flushing: one batch per round per file.
-                return
+        obs = self.sim.observer
+        span = obs.span(thread, "wb.flush", "wb",
+                        file=str(cf.key)) if obs is not None else None
+        try:
+            while True:
+                picked = self.page_cache.pick_flush_batch(
+                    cf, batch_pages, now=self.sim.now, min_age=min_age
+                )
+                if not picked:
+                    return
+                # CPU to assemble the writeback batch, on *this* thread's cores.
+                yield from thread.run(
+                    costs.flush_page_op * len(picked), quantum=costs.quantum
+                )
+                nbytes = len(picked) * costs.page_size
+                if cf.flush_fn is None:
+                    raise SimulationError("dirty file %r has no flush_fn" % (cf.key,))
+                yield from cf.flush_fn(nbytes, picked)
+                self.page_cache.clean(cf, picked)
+                self.pages_flushed += len(picked)
+                self.sim.trace("wb", "flush", file=str(cf.key), pages=len(picked))
+                if self.metrics is not None:
+                    self.metrics.counter("wb.pages_flushed").add(len(picked))
+                if obs is not None:
+                    obs.sample("dirty_bytes", self.page_cache.dirty_bytes)
+                self._notify_progress()
+                if not all_pages and min_age is not None:
+                    # Expire-driven flushing: one batch per round per file.
+                    return
+        finally:
+            if span is not None:
+                span.end()
 
     # -- writer-side throttling -------------------------------------------------
 
@@ -175,15 +184,24 @@ class WritebackDaemon(object):
         This is the kernel's ``balance_dirty_pages``: the writing task
         kicks the flushers and sleeps until enough pages were cleaned.
         """
-        while self.page_cache.account_dirty(account) > self.max_dirty(account):
-            self._kick()
-            progress = self.sim.event()
-            self._progress_waiters.append(progress)
-            timeout = self.sim.timeout(self.costs.writeback_interval)
-            yield self.sim.any_of([progress, timeout])
-            self.sim.trace("wb", "throttle", account=account.name)
-            if self.metrics is not None:
-                self.metrics.counter("wb.throttle_waits").add(1)
+        if self.page_cache.account_dirty(account) <= self.max_dirty(account):
+            return
+        obs = self.sim.observer
+        span = obs.span(task, "wb.throttle", "wb",
+                        account=account.name) if obs is not None else None
+        try:
+            while self.page_cache.account_dirty(account) > self.max_dirty(account):
+                self._kick()
+                progress = self.sim.event()
+                self._progress_waiters.append(progress)
+                timeout = self.sim.timeout(self.costs.writeback_interval)
+                yield self.sim.any_of([progress, timeout])
+                self.sim.trace("wb", "throttle", account=account.name)
+                if self.metrics is not None:
+                    self.metrics.counter("wb.throttle_waits").add(1)
+        finally:
+            if span is not None:
+                span.end()
 
     def fsync(self, task, cf):
         """Synchronously flush every dirty page of a file on the caller."""

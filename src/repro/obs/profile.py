@@ -1,0 +1,85 @@
+"""Text renderers for the derived profiles.
+
+The CLI prints these after a ``--profile`` run; they are deliberately
+plain fixed-width tables so diffs between runs stay readable.
+"""
+
+__all__ = ["format_lock_table", "format_core_steal", "format_trace_summary"]
+
+
+def _render(headers, rows):
+    widths = [len(h) for h in headers]
+    cells = []
+    for row in rows:
+        rendered = [str(value) for value in row]
+        cells.append(rendered)
+        for index, value in enumerate(rendered):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for rendered in cells:
+        lines.append(
+            "  ".join(rendered[i].ljust(widths[i]) for i in range(len(rendered)))
+        )
+    return "\n".join(lines)
+
+
+def format_lock_table(rows, limit=20):
+    """Render lock-contention rows (dicts from ``Observer.lock_table``)."""
+    if not rows:
+        return "(no locks registered)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "pool", "lock_class", "acq", "contended",
+        "wait_ms", "hold_ms", "avg_wait_us", "max_wait_us",
+    ]
+    body = []
+    for row in rows[:limit]:
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row.get("pool", "-"),
+            row["lock_class"],
+            row["acquisitions"],
+            row["contended"],
+            "%.3f" % (row["total_wait_s"] * 1e3),
+            "%.3f" % (row["total_hold_s"] * 1e3),
+            "%.2f" % row["avg_wait_us"],
+            "%.2f" % row["max_wait_us"],
+        ])
+    out = _render(headers, body)
+    if len(rows) > limit:
+        out += "\n(+%d more lock classes)" % (len(rows) - limit)
+    return out
+
+
+def format_core_steal(rows):
+    """Render per-core foreign-CPU rows (``Observer.core_steal_profile``)."""
+    if not rows:
+        return "(no pool-owned cores saw CPU time)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "core", "pool", "busy_ms", "foreign_ms", "foreign_%", "top thieves",
+    ]
+    body = []
+    for row in rows:
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row["core"],
+            row["pool"],
+            "%.3f" % (row["busy_s"] * 1e3),
+            "%.3f" % (row["foreign_s"] * 1e3),
+            "%.1f" % row["foreign_pct"],
+            ", ".join(row["top_thieves"]) or "-",
+        ])
+    return _render(headers, body)
+
+
+def format_trace_summary(summary, limit=15):
+    """Render (category, name) -> count pairs from ``Observer.summary``."""
+    if not summary:
+        return "(no trace events)"
+    body = [[cat, name, count] for (cat, name), count in summary[:limit]]
+    out = _render(["category", "name", "count"], body)
+    if len(summary) > limit:
+        out += "\n(+%d more event kinds)" % (len(summary) - limit)
+    return out

@@ -58,6 +58,9 @@ class Core(object):
         try:
             yield self.sim.timeout(duration)
             self.busy_time += duration
+            obs = self.sim.observer
+            if obs is not None:
+                obs.record_cpu(self, thread, duration, switched)
         finally:
             self._mutex.release()
         return switched

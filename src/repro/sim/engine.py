@@ -286,12 +286,27 @@ class Simulator(object):
         self._heap = []
         self._seq = 0
         self.crashed = []  # (process, exception) for unobserved failures
-        self.tracer = None  # optional repro.trace.Tracer
+        self.tracer = None  # event sink (repro.obs.Observer or legacy Tracer)
+        self.observer = None  # full repro.obs.Observer (spans, profiles)
+        self._locks = []  # (scope, lock_class, instance, Mutex) registry
 
     def trace(self, category, name, **detail):
         """Emit a trace event when a tracer is attached (else a no-op)."""
         if self.tracer is not None:
             self.tracer.emit(self.now, category, name, **detail)
+
+    def register_lock(self, scope, lock_class, instance, lock):
+        """Record a named lock for contention profiling.
+
+        Registration is unconditional (lock creation is rare); the
+        attached observer reads this registry lazily when asked for a
+        contention table, so no per-acquisition cost is added.
+        """
+        self._locks.append((scope, lock_class, instance, lock))
+
+    def registered_locks(self):
+        """All locks registered so far: ``(scope, class, instance, lock)``."""
+        return list(self._locks)
 
     # -- scheduling internals ------------------------------------------
 

@@ -411,11 +411,27 @@ class CephCluster(object):
     def mds_call(self, op_name, *args, **kwargs):
         """Run an MDS operation over the network; returns its result."""
         if self.resilient:
-            return self._mds_retry(op_name, args, kwargs)
-        op = getattr(self.mds, op_name)
-        return self.fabric.rpc(
-            op(*args, **kwargs), send_bytes=256, recv_bytes=256
-        )
+            inner = self._mds_retry(op_name, args, kwargs)
+        else:
+            op = getattr(self.mds, op_name)
+            inner = self.fabric.rpc(
+                op(*args, **kwargs), send_bytes=256, recv_bytes=256
+            )
+        obs = self.sim.observer
+        if obs is None:
+            return inner
+        return self._observed_mds_call(op_name, inner, obs)
+
+    def _observed_mds_call(self, op_name, inner, obs):
+        """Time one MDS round trip: a span on the "net" track plus a
+        service-time histogram (runs only with an observer attached)."""
+        span = obs.span(None, "mds.%s" % op_name, "mds")
+        try:
+            result = yield from inner
+        finally:
+            span.end()
+        obs.metrics("mds").histogram("service_s").observe(span.duration)
+        return result
 
     def _mds_retry(self, op_name, args, kwargs):
         """Backed-off MDS resend: at-least-once metadata semantics.

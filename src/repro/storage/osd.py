@@ -72,6 +72,7 @@ class Osd(object):
         if offset < 0 or size < 0:
             raise InvalidArgument("negative offset/size")
         yield from self._check_up()
+        started = self.sim.now
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
@@ -83,6 +84,11 @@ class Osd(object):
             self._slots.release()
         self.metrics.counter("reads").add(1)
         self.metrics.counter("bytes_read").add(len(data))
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("osd%d" % self.osd_id).histogram(
+                "read_service_s"
+            ).observe(self.sim.now - started)
         return data
 
     def write(self, ino, index, offset, data):
@@ -90,6 +96,7 @@ class Osd(object):
         if offset < 0:
             raise InvalidArgument("negative offset")
         yield from self._check_up()
+        started = self.sim.now
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
@@ -109,6 +116,11 @@ class Osd(object):
             self._slots.release()
         self.metrics.counter("writes").add(1)
         self.metrics.counter("bytes_written").add(len(data))
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("osd%d" % self.osd_id).histogram(
+                "write_service_s"
+            ).observe(self.sim.now - started)
         return len(data)
 
     def truncate(self, ino, index, size):

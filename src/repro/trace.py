@@ -1,91 +1,36 @@
-"""Event tracing: a lightweight flight recorder for simulations.
+"""Deprecated tracing entry point — superseded by :mod:`repro.obs`.
 
-Attach a :class:`Tracer` to a simulator and the instrumented components
-(writeback, FUSE transport, Danaus IPC, services, the cluster monitor)
-emit structured events — the equivalent of the kernel tracing the paper
-used to attribute its slowdowns ("our kernel profiling showed…").
+``Tracer`` is now a thin compatibility alias over
+:class:`repro.obs.Observer`: the event-sink surface (``emit`` /
+``events`` / ``summary`` / ``to_jsonl``) is unchanged, but the buffer is
+a ring — at capacity the *oldest* events are evicted so the most recent
+window survives, with ``dropped`` counting evictions and surfaced by
+``summary()``.
 
-    world = World(...)
-    tracer = Tracer(categories={"wb", "fuse"})
-    world.sim.tracer = tracer
+New code should attach through the world instead of poking the
+simulator attribute::
+
+    obs = world.observe(categories={"wb", "fuse"})
     ...
-    print(tracer.summary())
+    print(obs.summary())
 
-Tracing is strictly opt-in: with no tracer attached the emit path is a
-single attribute check.
+which additionally enables spans, CPU attribution and the lock
+contention profile. The manual ``world.sim.tracer = Tracer(...)`` idiom
+still works for the flat event stream only.
 """
 
-import json
+from repro.obs.observer import Observer, TraceEvent
 
 __all__ = ["TraceEvent", "Tracer"]
 
 
-class TraceEvent(object):
-    """One recorded occurrence."""
+class Tracer(Observer):
+    """Compatibility alias for :class:`repro.obs.Observer`.
 
-    __slots__ = ("time", "category", "name", "detail")
-
-    def __init__(self, time, category, name, detail):
-        self.time = time
-        self.category = category
-        self.name = name
-        self.detail = detail
-
-    def as_dict(self):
-        out = {"t": self.time, "cat": self.category, "name": self.name}
-        out.update(self.detail)
-        return out
-
-    def __repr__(self):
-        return "<TraceEvent %.6f %s/%s %r>" % (
-            self.time, self.category, self.name, self.detail,
-        )
-
-
-class Tracer(object):
-    """Collects :class:`TraceEvent` records with optional filtering."""
+    Kept for one release so existing attach-by-hand call sites keep
+    working; it records events only (no spans or profiles) because it is
+    installed as ``sim.tracer``, not ``sim.observer``.
+    """
 
     def __init__(self, categories=None, capacity=100000):
-        self.categories = set(categories) if categories is not None else None
-        self.capacity = capacity
-        self.records = []
-        self.dropped = 0
-
-    def wants(self, category):
-        return self.categories is None or category in self.categories
-
-    def emit(self, time, category, name, **detail):
-        if not self.wants(category):
-            return
-        if len(self.records) >= self.capacity:
-            self.dropped += 1
-            return
-        self.records.append(TraceEvent(time, category, name, detail))
-
-    def events(self, category=None, name=None):
-        """Recorded events, optionally filtered."""
-        out = self.records
-        if category is not None:
-            out = [e for e in out if e.category == category]
-        if name is not None:
-            out = [e for e in out if e.name == name]
-        return out
-
-    def summary(self):
-        """Counts per (category, name), sorted by frequency."""
-        counts = {}
-        for event in self.records:
-            key = (event.category, event.name)
-            counts[key] = counts.get(key, 0) + 1
-        return sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
-
-    def to_jsonl(self, path):
-        """Dump all events as JSON lines."""
-        with open(path, "w") as handle:
-            for event in self.records:
-                handle.write(json.dumps(event.as_dict()) + "\n")
-        return len(self.records)
-
-    def clear(self):
-        self.records = []
-        self.dropped = 0
+        super().__init__(sim=None, categories=categories, capacity=capacity)

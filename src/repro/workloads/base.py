@@ -8,7 +8,7 @@ reports ops/s, bytes/s and latency percentiles through a
 """
 
 from repro.common.rng import make_rng, pseudo_bytes
-from repro.metrics import Histogram, MetricSet
+from repro.metrics import MetricSet
 
 __all__ = ["WorkloadResult", "Workload"]
 
@@ -21,7 +21,8 @@ class WorkloadResult(object):
         self.ops = 0
         self.bytes_read = 0
         self.bytes_written = 0
-        self.latency = Histogram("latency")
+        self.metrics = MetricSet(name)
+        self.latency = self.metrics.histogram("latency")
         self.started_at = None
         self.finished_at = None
         self.errors = 0

@@ -12,6 +12,7 @@ hosts through the shared network filesystem — expressible; see
 :mod:`repro.containers.migration`.
 """
 
+from repro import obs
 from repro.common import units
 from repro.common.errors import ConfigError
 from repro.containers import ContainerEngine
@@ -78,6 +79,12 @@ class World(object):
         self.machine = primary.machine
         self.kernel = primary.kernel
         self.engine = primary.engine
+        self.observer = None
+        spec = obs.default_spec()
+        if spec is not None:
+            # The CLI armed auto-observation (``--trace``/``--profile``):
+            # experiments that build worlds internally get observed too.
+            obs._note_attached(self.observe(**spec))
 
     def add_host(self, name, num_cores=16, ram_bytes=64 * units.GIB,
                  num_disks=6):
@@ -102,6 +109,23 @@ class World(object):
     def activate_cores(self, count):
         """Enable ``count`` cores on the primary client host."""
         return self.machine.activate_cores(count)
+
+    def observe(self, categories=None, capacity=100000):
+        """Attach a fresh :class:`~repro.obs.Observer` to this world.
+
+        The observer becomes both ``sim.observer`` (spans, CPU and lock
+        profiling) and ``sim.tracer`` (the flat ``sim.trace`` event
+        path), replacing the old manual ``world.sim.tracer = Tracer(...)``
+        idiom. Returns the observer.
+        """
+        observer = obs.Observer(
+            sim=self.sim, categories=categories, capacity=capacity,
+            world=self,
+        )
+        self.sim.tracer = observer
+        self.sim.observer = observer
+        self.observer = observer
+        return observer
 
     def host_task(self, label="host"):
         """A task for host-side setup work (image seeding, pre-population).

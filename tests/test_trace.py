@@ -1,4 +1,9 @@
-"""Tests for the tracing subsystem."""
+"""Tests for the event-trace surface of the observability subsystem.
+
+Worlds attach through ``World.observe(...)`` (the ``repro.obs`` entry
+point); the deprecated ``Tracer`` alias is exercised for compatibility,
+including its new ring-buffer semantics.
+"""
 
 import json
 
@@ -12,7 +17,7 @@ from tests.conftest import run
 def make_traced_world(categories=None):
     world = World(num_cores=8, ram_bytes=units.gib(8))
     world.activate_cores(4)
-    world.sim.tracer = Tracer(categories=categories)
+    world.observe(categories=categories)
     return world
 
 
@@ -70,12 +75,33 @@ def test_tracer_records_monitor_events():
     assert events and events[0].detail["osd"] == 0
 
 
-def test_tracer_capacity_drops_excess():
+def test_observe_returns_the_attached_observer():
+    world = World(num_cores=4, ram_bytes=units.gib(4))
+    observer = world.observe(categories={"wb"})
+    assert world.sim.tracer is observer
+    assert world.sim.observer is observer
+    assert world.observer is observer
+
+
+def test_manual_tracer_attachment_still_works():
+    # The legacy idiom: events only, no span/profile machinery armed.
+    world = World(num_cores=4, ram_bytes=units.gib(4))
+    world.sim.tracer = Tracer(categories={"x"})
+    world.sim.trace("x", "e", value=1)
+    assert world.sim.observer is None
+    assert len(world.sim.tracer.records) == 1
+
+
+def test_tracer_ring_buffer_keeps_most_recent():
     tracer = Tracer(capacity=2)
     for index in range(5):
         tracer.emit(float(index), "x", "e", i=index)
     assert len(tracer.records) == 2
     assert tracer.dropped == 3
+    # Ring semantics: the *newest* window survives, not the oldest.
+    assert [event.detail["i"] for event in tracer.records] == [3, 4]
+    summary = dict(tracer.summary())
+    assert summary[("trace", "dropped")] == 3
 
 
 def test_tracer_jsonl_dump(tmp_path):
