@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Run one corruption-chaos cell of the scheduled CI matrix.
+
+Runs the full chaos pipeline with silent-corruption faults (bitrot +
+torn replica writes) and the background scrub daemon enabled, then dumps
+a JSON record — including the run's determinism fingerprint — for
+artifact upload. Exits non-zero when the run fails integrity, so the
+scheduled job goes red on any acknowledged-data loss.
+
+Usage:
+    PYTHONPATH=src python scripts/chaos_matrix.py --seed 7 \
+        --out artifacts/chaos-seed7.json
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+from repro.faults import run_chaos
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="workload duration in sim seconds")
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--bitrot", type=int, default=2)
+    parser.add_argument("--torn-writes", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    result = run_chaos(
+        seed=args.seed,
+        duration=args.duration,
+        replicas=args.replicas,
+        bitrot=args.bitrot,
+        torn_writes=args.torn_writes,
+        scrub=True,
+    )
+    fingerprint = result.fingerprint()
+    record = {
+        "seed": args.seed,
+        "ok": result.ok,
+        "converged": result.converged,
+        "scrub_converged": result.scrub_converged,
+        "corruptions": result.corruptions,
+        "repairs": result.repairs,
+        "integrity_errors": result.integrity_errors,
+        "quarantined": [list(key) for key in result.quarantined],
+        "files_checked": result.files_checked,
+        "files_skipped": result.files_skipped,
+        "mismatches": result.mismatches,
+        "read_mismatches": result.read_mismatches,
+        "retries": result.retries,
+        "service_restarts": result.service_restarts,
+        "plan_log": [list(entry) for entry in result.plan_log],
+        "digests": {str(k): v for k, v in sorted(result.digests.items())},
+        # one stable hash of the whole fingerprint for quick diffing
+        "fingerprint": hashlib.blake2b(
+            repr(fingerprint).encode(), digest_size=16
+        ).hexdigest(),
+    }
+    payload = json.dumps(record, indent=2, sort_keys=True)
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    print("seed=%d ok=%s corruptions=%d repairs=%d fingerprint=%s" % (
+        args.seed, result.ok, result.corruptions, result.repairs,
+        record["fingerprint"],
+    ), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

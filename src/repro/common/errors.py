@@ -27,6 +27,9 @@ Hierarchy (fault taxonomy in one place):
     . . CrossDevice        EXDEV       rename across filesystems
     . . DataUnavailable    EIO         every replica of an object is down;
                                        retryable once an OSD returns
+    . . DataCorrupt        EIO         every replica fails checksum
+                                       verification; NOT retryable (only
+                                       repair or a fresh write clears it)
     . . OpTimeout          ETIMEDOUT   client-side op timeout expired;
                                        retryable (epoch-aware resend)
     . . NetworkPartitioned ENETUNREACH link partitioned or message lost;
@@ -156,6 +159,21 @@ class DataUnavailable(FsError):
     Raised instead of silently returning truncated data when stored bytes
     exist only on failed OSDs. Retryable: the data reappears when a
     holding OSD restarts or recovery re-replicates the object.
+    """
+
+    default_errno = errno.EIO
+
+
+class DataCorrupt(FsError):
+    """EIO: every replica of an object fails checksum verification.
+
+    A single corrupt copy is never user-visible: the verified read path
+    fails over to a clean replica and repairs the bad one in the
+    background. This error means *no* stored copy matches its recorded
+    digests, so returning bytes would mean returning garbage. Unlike
+    :class:`DataUnavailable` it is not retryable — resending the read
+    cannot make corrupt media honest; only scrub repair or a fresh
+    overwrite clears the condition.
     """
 
     default_errno = errno.EIO

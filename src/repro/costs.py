@@ -143,6 +143,27 @@ class CostModel(object):
         #: restarted service accepting requests again
         self.restart_delay = 0.5
 
+        # --- data integrity / scrub ------------------------------------------
+        #: granularity of per-object checksums (bluestore-style per-chunk
+        #: digests: a partial overwrite re-digests only touched chunks and
+        #: can never "bless" corruption elsewhere in the object)
+        self.integrity_chunk_size = 4096
+        #: OSD-side digest-check bandwidth during verified reads/scrubs
+        #: (blake2b over stored bytes, on the OSD's cores)
+        self.integrity_verify_bandwidth = 2 * units.GIB
+        #: pause between background scrub cycles (sim seconds)
+        self.scrub_interval = 2.0
+        #: every Nth scrub cycle is a deep scrub (byte verify); the others
+        #: are light metadata scrubs. 0 disables deep cycles.
+        self.deep_scrub_every = 2
+        #: objects examined per scrub cycle (bounds foreground impact)
+        self.scrub_batch = 64
+        #: CPU+queue work of one light-scrub metadata probe per replica
+        self.scrub_meta_op = units.usec(10.0)
+        #: whether scrub repairs corrupt replicas (False: detect/quarantine
+        #: only — the equivalent of ``osd_scrub_auto_repair=false``)
+        self.scrub_repair = True
+
         for key, value in overrides.items():
             if not hasattr(self, key):
                 raise AttributeError("unknown cost field %r" % key)
@@ -165,6 +186,10 @@ class CostModel(object):
     def payload_cost(self, nbytes):
         """Client CPU seconds to checksum/assemble a payload."""
         return nbytes / self.ceph_payload_bandwidth
+
+    def verify_cost(self, nbytes):
+        """OSD CPU seconds to digest-check ``nbytes`` of stored data."""
+        return nbytes / self.integrity_verify_bandwidth
 
     def pages_of(self, offset, size):
         """Number of pages covering ``[offset, offset+size)``."""

@@ -135,7 +135,16 @@ class ChaosFileserver(Workload):
                 skipped += 1
                 continue
             size, tag = expectation
-            data = yield from self.fs.read_file(task, self._path(index))
+            try:
+                data = yield from self.fs.read_file(task, self._path(index))
+            except FsError as err:
+                # An acknowledged file that cannot be read back (e.g.
+                # DataCorrupt on an unrepairable object) is an integrity
+                # failure, not a harness crash.
+                digests[index] = "error:%s" % type(err).__name__
+                checked += 1
+                mismatches.append((index, tag, -1, size))
+                continue
             digests[index] = hashlib.blake2b(data, digest_size=16).hexdigest()
             checked += 1
             if data != self.payload(size, tag):
@@ -148,7 +157,8 @@ class ChaosResult(object):
 
     def __init__(self, seed, plan_log, digests, checked, skipped, mismatches,
                  read_mismatches, workload_result, converged, retries,
-                 service_restarts):
+                 service_restarts, corruptions=0, integrity_errors=(),
+                 quarantined=(), repairs=0, scrub_converged=True):
         self.seed = seed
         self.plan_log = plan_log
         self.digests = digests
@@ -160,13 +170,26 @@ class ChaosResult(object):
         self.converged = converged
         self.retries = retries
         self.service_restarts = service_restarts
+        #: corruption injections that found a replica to damage
+        self.corruptions = corruptions
+        #: corrupt replicas still live at convergence: [(osd, ino, index)]
+        self.integrity_errors = list(integrity_errors)
+        #: objects quarantined (no clean replica) at convergence
+        self.quarantined = sorted(quarantined)
+        #: replicas repaired (read-repair + scrub) over the run
+        self.repairs = repairs
+        #: True when the final deep-scrub drain reached a clean pass
+        self.scrub_converged = scrub_converged
 
     @property
     def ok(self):
         return (
             self.converged
+            and self.scrub_converged
             and not self.mismatches
             and not self.read_mismatches
+            and not self.integrity_errors
+            and not self.quarantined
         )
 
     def fingerprint(self):
@@ -187,13 +210,21 @@ class ChaosResult(object):
 def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
               mean_size=32 * 1024, plan=None, supervise=True, until=600.0,
               osd_crashes=1, partitions=1, service_crashes=1, mds_windows=0,
-              slow_disks=0):
+              slow_disks=0, replicas=1, bitrot=0, torn_writes=0,
+              scrub=False, scrub_interval=None):
     """Full chaos pipeline; returns a :class:`ChaosResult`.
 
     Builds a one-pool testbed of stack ``symbol``, generates (or takes) a
     fault plan, runs :class:`ChaosFileserver` under it, settles, verifies.
+
+    ``bitrot``/``torn_writes`` schedule silent-corruption faults (arming
+    cluster integrity); ``scrub=True`` starts the background scrub daemon
+    and ends the run with a deep-scrub drain, so the result also asserts
+    that every injected corruption was repaired (``integrity_errors``,
+    ``scrub_converged``). Corruption runs want ``replicas >= 2`` — with a
+    single replica there is nothing to repair from, only quarantine.
     """
-    world = World(num_cores=8, ram_bytes=units.gib(16))
+    world = World(num_cores=8, ram_bytes=units.gib(16), replicas=replicas)
     world.activate_cores(4)
     pool = world.engine.create_pool(
         "p0", num_cores=2, ram_bytes=units.gib(4)
@@ -217,12 +248,20 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             service_crashes=service_crashes if supervise else 0,
             mds_windows=mds_windows,
             slow_disks=slow_disks,
+            bitrot=bitrot,
+            torn_writes=torn_writes,
         )
     workload = ChaosFileserver(
         mount.fs, pool, duration=duration, threads=threads, nfiles=nfiles,
         mean_size=mean_size, seed=seed,
     )
     plan.install(world, services=services)
+    scrub_daemon = None
+    if scrub:
+        scrub_kwargs = {}
+        if scrub_interval is not None:
+            scrub_kwargs["interval"] = scrub_interval
+        scrub_daemon = world.cluster.start_scrub(**scrub_kwargs)
 
     def pipeline():
         result = yield from workload.run()
@@ -237,6 +276,22 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             flush_task = pool.new_task("chaos.flush")
             yield from client.flush_all(flush_task)
         yield world.sim.timeout(SETTLE_TIME)
+        # Corruption actions that fired while all data was still dirty
+        # client-side defer until replicas hold real bytes; the flush
+        # above provides them, so wait for every injection to land
+        # before the final scrub pass judges convergence.
+        for _ in range(300):
+            if not plan.pending_corruptions:
+                break
+            yield world.sim.timeout(0.25)
+        scrub_converged = True
+        if scrub_daemon is not None:
+            # Stop the periodic loop, then deep-scrub to convergence so
+            # every latent corruption is found and repaired before the
+            # integrity sweep below.
+            scrub_daemon.stop()
+            scrub_converged = yield from scrub_daemon.drain()
+        integrity_errors = world.cluster.integrity_errors()
         verify_task = pool.new_task("chaos.verify")
         digests, checked, skipped, mismatches = (
             yield from workload.verify(verify_task)
@@ -246,6 +301,13 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             and not world.fabric.partitioned
             and world.cluster.mds.available
             and all(not service.crashed for service in services)
+        )
+        cluster_metrics = world.cluster.metrics
+        monitor_metrics = world.cluster.monitor.metrics
+        corruptions = sum(
+            int(osd.metrics.counter("bitrot_injected").value)
+            + int(osd.metrics.counter("torn_injected").value)
+            for osd in world.cluster.osds
         )
         return ChaosResult(
             seed,
@@ -257,11 +319,16 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             list(workload.read_mismatches),
             result,
             converged,
-            int(world.cluster.metrics.counter("retries").value),
+            int(cluster_metrics.counter("retries").value),
             sum(
                 int(service.metrics.counter("restarts").value)
                 for service in services
             ),
+            corruptions=corruptions,
+            integrity_errors=integrity_errors,
+            quarantined=set(world.cluster.quarantined),
+            repairs=int(monitor_metrics.counter("objects_repaired").value),
+            scrub_converged=scrub_converged,
         )
 
     process = world.sim.spawn(pipeline(), name="chaos-run")

@@ -22,14 +22,22 @@ Supported action kinds:
                    (sessions lost, namespace intact)
 ``service_crash``  crash the named Danaus :class:`FilesystemService`
 ``flusher_stall``  stall the host kernel's writeback for ``duration``
+``bitrot``         silently flip ``flips`` bits in one stored replica of a
+                   deterministically chosen object (``target`` pins the OSD)
+``torn_write``     silently truncate one replica's copy to
+                   ``keep_fraction`` of its size (a torn replica write)
 =================  ==========================================================
+
+Scheduling any corruption kind arms cluster integrity on install
+(checksum recording, verified reads, read-repair) — the silent faults are
+only survivable with verification on.
 """
 
 from repro.common.errors import RETRYABLE, ConfigError
 from repro.common.rng import make_rng
 from repro.metrics import MetricSet
 
-__all__ = ["FaultAction", "FaultPlan", "KINDS"]
+__all__ = ["CORRUPTION_KINDS", "FaultAction", "FaultPlan", "KINDS"]
 
 KINDS = (
     "osd_crash",
@@ -40,10 +48,21 @@ KINDS = (
     "mds_down",
     "service_crash",
     "flusher_stall",
+    "bitrot",
+    "torn_write",
 )
+
+#: Fault kinds that silently corrupt stored replicas (integrity required).
+CORRUPTION_KINDS = ("bitrot", "torn_write")
 
 #: pause between recovery attempts when the fabric is still partitioned.
 _RECOVER_RETRY_DELAY = 0.25
+
+#: poll cadence and bound for corruption actions waiting on stored bytes
+#: (client caches hold dirty data until flush, so a mid-run replica store
+#: can be legitimately empty — the rot lands once real bytes exist).
+_CORRUPT_DEFER_DELAY = 0.25
+_CORRUPT_DEFER_POLLS = 240
 
 
 class FaultAction(object):
@@ -84,6 +103,10 @@ class FaultPlan(object):
         #: fired injections, in order: (sim_time, event, kind, target).
         self.log = []
         self.metrics = MetricSet("faults")
+        #: corruption actions still waiting for stored bytes to damage;
+        #: the chaos pipeline waits for this to drain before its final
+        #: scrub, so every scheduled corruption lands inside the run.
+        self.pending_corruptions = 0
         self._world = None
         self._services = {}
         self._op_triggers = []
@@ -104,7 +127,7 @@ class FaultPlan(object):
     @classmethod
     def generate(cls, seed, horizon, num_osds, services=(), osd_crashes=1,
                  partitions=1, service_crashes=1, mds_windows=0,
-                 slow_disks=0):
+                 slow_disks=0, bitrot=0, torn_writes=0):
         """A random-but-reproducible plan over ``horizon`` seconds.
 
         Every crash gets a matching restart and every window heals well
@@ -148,6 +171,20 @@ class FaultPlan(object):
                 duration=horizon * rng.uniform(0.10, 0.20),
                 factor=float(rng.choice([2, 4, 8])),
             )
+        # Corruption fires mid-run: late enough that data exists to rot,
+        # early enough that scrub/read-repair converge inside the horizon.
+        for _ in range(bitrot):
+            plan.schedule(
+                "bitrot",
+                at=horizon * rng.uniform(0.30, 0.65),
+                flips=int(rng.choice([4, 8, 16])),
+            )
+        for _ in range(torn_writes):
+            plan.schedule(
+                "torn_write",
+                at=horizon * rng.uniform(0.30, 0.65),
+                keep_fraction=rng.uniform(0.25, 0.75),
+            )
         return plan
 
     def end_time(self):
@@ -176,6 +213,8 @@ class FaultPlan(object):
                     "service_crash target %r not installed" % action.target
                 )
         world.cluster.arm_faults()
+        if any(action.kind in CORRUPTION_KINDS for action in self.actions):
+            world.cluster.enable_integrity()
         timed = sorted(
             (action for action in self.actions if action.at is not None),
             key=lambda action: action.at,
@@ -251,7 +290,73 @@ class FaultPlan(object):
         elif action.kind == "flusher_stall":
             kernel = world.kernel_for(world.machine)
             kernel.writeback.stall(action.duration or 1.0)
+        elif action.kind in CORRUPTION_KINDS:
+            if not self._try_corrupt(action):
+                # Nothing flushed yet (dirty data still client-side):
+                # defer until some replica holds bytes to damage.
+                self.pending_corruptions += 1
+                world.sim.spawn(
+                    self._deferred_corruption(action),
+                    name="fault-corrupt",
+                )
         return
+
+    def _try_corrupt(self, action):
+        """Inject one corruption action now; False when nothing is stored."""
+        cluster = self._world.cluster
+        label = "bitrot" if action.kind == "bitrot" else "torn"
+        rng = make_rng(self.seed, label, len(self.log))
+        victim = self._pick_replica(cluster, rng, action.target)
+        if victim is None:
+            return False
+        osd_id, (ino, index) = victim
+        if action.kind == "bitrot":
+            cluster.osds[osd_id].inject_bitrot(
+                ino, index, rng, flips=action.params.get("flips", 8)
+            )
+        else:
+            cluster.osds[osd_id].inject_torn_write(
+                ino, index,
+                keep_fraction=action.params.get("keep_fraction", 0.5),
+            )
+        self._log(action, "corrupt")
+        return True
+
+    def _deferred_corruption(self, action):
+        """Poll until stored bytes exist, then damage them (bounded)."""
+        sim = self._world.sim
+        try:
+            for _ in range(_CORRUPT_DEFER_POLLS):
+                yield sim.timeout(_CORRUPT_DEFER_DELAY)
+                if self._try_corrupt(action):
+                    return
+            self.metrics.counter("corruption_noop").add(1)
+            self._log(action, "noop")
+        finally:
+            self.pending_corruptions -= 1
+
+    @staticmethod
+    def _pick_replica(cluster, rng, target=None):
+        """A deterministic ``(osd_id, (ino, index))`` corruption victim.
+
+        Drawn from the sorted set of non-trivial replicas on live,
+        running OSDs at fire time (``target`` pins the OSD), so the same
+        seed corrupts the same replica given the same cluster history.
+        Returns None when nothing is stored yet.
+        """
+        candidates = []
+        for osd in cluster.osds:
+            if osd.crashed or not cluster.monitor.is_up(osd.osd_id):
+                continue
+            if target is not None and osd.osd_id != target:
+                continue
+            for key, obj in osd._objects.items():
+                if len(obj) >= 2:
+                    candidates.append((osd.osd_id, key))
+        if not candidates:
+            return None
+        candidates.sort()
+        return candidates[rng.randrange(len(candidates))]
 
     def _heal(self, action):
         world = self._world

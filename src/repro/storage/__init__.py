@@ -5,5 +5,14 @@ from repro.storage.crush import CrushMap
 from repro.storage.mds import InodeInfo, Mds
 from repro.storage.monitor import Monitor
 from repro.storage.osd import Osd
+from repro.storage.scrub import ScrubDaemon
 
-__all__ = ["CephCluster", "CrushMap", "InodeInfo", "Mds", "Monitor", "Osd"]
+__all__ = [
+    "CephCluster",
+    "CrushMap",
+    "InodeInfo",
+    "Mds",
+    "Monitor",
+    "Osd",
+    "ScrubDaemon",
+]

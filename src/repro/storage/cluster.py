@@ -12,6 +12,7 @@ object placement is computed client-side through the CRUSH map.
 
 from repro.common.errors import (
     RETRYABLE,
+    DataCorrupt,
     DataUnavailable,
     InvalidArgument,
     OpTimeout,
@@ -40,6 +41,12 @@ class CephCluster(object):
         self._cap_clients = {}  # client_id -> client (caps-mode only)
         self._next_client_id = 1
         self._faults_armed = False
+        self._integrity_armed = False
+        #: objects with no verified-clean replica left; reads raise
+        #: DataCorrupt until scrub or a fresh write clears the entry.
+        self.quarantined = set()
+        #: the background scrub daemon, once started (see start_scrub)
+        self.scrub = None
         self._op_hooks = []  # zero-arg callbacks fired after each data op
         #: completed data ops (reads + writes), drives op-count fault triggers
         self.op_count = 0
@@ -65,11 +72,29 @@ class CephCluster(object):
         """
         self._faults_armed = True
 
+    def enable_integrity(self):
+        """Arm end-to-end checksums: digest recording + verified reads.
+
+        Guarded exactly like :meth:`arm_faults`: never called on the
+        fault-free fast path, so integrity-off runs keep the exact
+        pre-integrity event schedule. Once armed, every OSD records
+        per-chunk digests on write and every resilient read verifies the
+        replica it was served from.
+        """
+        self._integrity_armed = True
+        for osd in self.osds:
+            osd.verify_enabled = True
+
+    @property
+    def integrity_armed(self):
+        return self._integrity_armed
+
     @property
     def resilient(self):
         """True when ops must go through the retry/timeout machinery."""
         return (
             self._faults_armed
+            or self._integrity_armed
             or self.degraded
             or not self.mds.available
             or any(osd.crashed for osd in self.osds)
@@ -122,6 +147,7 @@ class CephCluster(object):
         for attempt in range(self.costs.retry_attempts):
             if attempt:
                 self.metrics.counter("retries").add(1)
+                self.metrics.counter("retries_%s" % what).add(1)
                 self.sim.trace("cluster", "retry", what=what, attempt=attempt,
                                error=type(last_err).__name__)
                 yield self.sim.timeout(delay)
@@ -142,6 +168,7 @@ class CephCluster(object):
             else:
                 last_err = OpTimeout("%s timed out" % what)
                 self.metrics.counter("op_timeouts").add(1)
+                self.metrics.counter("op_timeouts_%s" % what).add(1)
             if isinstance(last_err, OpTimeout):
                 blame = getattr(last_err, "osd_id", report_osd)
                 if blame is not None:
@@ -180,17 +207,32 @@ class CephCluster(object):
                     or osd.osd_id in self.crush.placement(ino, index)):
                 self.monitor.record_stale(osd.osd_id, key)
 
-    def _read_target(self, ino, index):
-        """The OSD id to read an object from, honouring failures."""
-        if not self.degraded:
+    def _read_target(self, ino, index, exclude=()):
+        """The OSD id to read an object from, or ``None`` when no live
+        OSD can serve it.
+
+        Honours failures (degraded reads fall back to any live holder)
+        and skips ``exclude`` (replicas already rejected by checksum
+        verification). The hole fallback — no live OSD stores the object
+        — picks a live, non-crashed acting member so the read returns
+        zeros; it never targets a dead daemon just because CRUSH named
+        it, which would be a doomed RPC (the caller surfaces
+        :class:`DataUnavailable` instead).
+        """
+        if not self.degraded and not exclude:
             return self.crush.primary(ino, index)
-        for osd_id in self.monitor.acting_set(ino, index):
-            if (ino, index) in self.osds[osd_id]._objects:
+        acting = self.monitor.acting_set(ino, index)
+        for osd_id in acting:
+            if osd_id not in exclude \
+                    and (ino, index) in self.osds[osd_id]._objects:
                 return osd_id
-        holders = self.monitor.holders(ino, index)
-        if holders:
-            return holders[0]
-        return self.monitor.acting_set(ino, index)[0]
+        for osd_id in self.monitor.holders(ino, index):
+            if osd_id not in exclude:
+                return osd_id
+        for osd_id in acting:
+            if osd_id not in exclude and not self.osds[osd_id].crashed:
+                return osd_id
+        return None
 
     def _write_targets(self, ino, index):
         if not self.degraded:
@@ -247,12 +289,19 @@ class CephCluster(object):
         return b"".join(parts)
 
     def _resilient_read(self, ino, index, obj_off, length):
+        if self._integrity_armed:
+            return (yield from self._verified_read(ino, index, obj_off, length))
+
         def resolve():
             if self._object_unreachable(ino, index):
                 raise DataUnavailable(
                     "no live replica of object (%d, %d)" % (ino, index)
                 )
             osd_id = self._read_target(ino, index)
+            if osd_id is None:
+                raise DataUnavailable(
+                    "no live OSD can serve object (%d, %d)" % (ino, index)
+                )
             gen = self.fabric.rpc(
                 self.osds[osd_id].read(ino, index, obj_off, length),
                 send_bytes=0,
@@ -261,6 +310,135 @@ class CephCluster(object):
             return osd_id, gen
 
         return (yield from self._retry("read", resolve))
+
+    def _verified_read(self, ino, index, obj_off, length):
+        """Checksum-verified read: replica failover plus read-repair.
+
+        The bytes served are digest-verified against the replica they
+        came from (a separate RPC, *outside* the attempt/timeout race —
+        :class:`DataCorrupt` must never become an abandoned attempt's
+        unobserved exception). A replica failing verification is set
+        aside, the read fails over to the next copy, and the corrupt
+        replica is repaired in the background from the verified one.
+        Only when every live copy fails verification does
+        :class:`DataCorrupt` (EIO) surface — bad bytes are never silently
+        returned.
+        """
+        rejected = set()
+        served_by = [None]
+
+        def resolve():
+            if self._object_unreachable(ino, index):
+                raise DataUnavailable(
+                    "no live replica of object (%d, %d)" % (ino, index)
+                )
+            osd_id = self._read_target(ino, index, exclude=rejected)
+            if osd_id is None:
+                raise DataUnavailable(
+                    "no live OSD can serve object (%d, %d)" % (ino, index)
+                )
+            served_by[0] = osd_id
+            gen = self.fabric.rpc(
+                self.osds[osd_id].read(ino, index, obj_off, length),
+                send_bytes=0,
+                recv_bytes=length,
+            )
+            return osd_id, gen
+
+        verify_redos = 0
+        while True:
+            data = yield from self._retry("read", resolve)
+            osd_id = served_by[0]
+            try:
+                clean = yield from self.fabric.rpc(
+                    self.osds[osd_id].verify_range(
+                        ino, index, offset=obj_off, size=length
+                    ),
+                    send_bytes=0,
+                    recv_bytes=64,
+                )
+            except RETRYABLE as err:
+                # The OSD or fabric died mid-verification: the bytes in
+                # hand have unknown provenance, so back off and redo the
+                # whole read against the then-current map.
+                verify_redos += 1
+                if verify_redos >= self.costs.retry_attempts:
+                    raise err
+                yield self.sim.timeout(self.costs.retry_backoff)
+                continue
+            if clean:
+                # a fresh overwrite makes a quarantined object whole again
+                self.quarantined.discard((ino, index))
+                if rejected:
+                    self.sim.spawn(
+                        self._read_repair(ino, index, frozenset(rejected)),
+                        name="read-repair",
+                    )
+                return data
+            rejected.add(osd_id)
+            self.metrics.counter("checksum_failures").add(1)
+            self.sim.trace("cluster", "checksum_fail", ino=ino, index=index,
+                           osd=osd_id)
+            obs = self.sim.observer
+            if obs is not None:
+                obs.metrics("integrity").counter("checksum_failures").add(1)
+            remaining = [
+                holder for holder in self.monitor.holders(ino, index)
+                if holder not in rejected
+            ]
+            if not remaining:
+                self._quarantine(ino, index)
+                raise DataCorrupt(
+                    "object (%d, %d): every replica fails checksum "
+                    "verification" % (ino, index)
+                )
+
+    def _read_repair(self, ino, index, bad):
+        """Background read-repair of replicas that failed verification."""
+        try:
+            repaired = yield from self.monitor.repair_object(ino, index, bad)
+        except RETRYABLE:
+            self.metrics.counter("repair_deferred").add(1)
+            return
+        if repaired:
+            self.metrics.counter("read_repairs").add(repaired)
+            obs = self.sim.observer
+            if obs is not None:
+                obs.metrics("integrity").counter("read_repairs").add(repaired)
+
+    def _quarantine(self, ino, index):
+        """Mark an object as having no verified-clean replica."""
+        if (ino, index) not in self.quarantined:
+            self.quarantined.add((ino, index))
+            self.metrics.counter("quarantined").add(1)
+            self.sim.trace("cluster", "quarantine", ino=ino, index=index)
+            obs = self.sim.observer
+            if obs is not None:
+                obs.metrics("integrity").counter("quarantined").add(1)
+
+    def integrity_errors(self):
+        """Corrupt replicas on live OSDs: ``[(osd_id, ino, index)]``.
+
+        Zero-cost sweep over recorded digests (no sim events); the chaos
+        harness asserts this is empty at convergence.
+        """
+        errors = []
+        for osd in self.osds:
+            if osd.crashed or not self.monitor.is_up(osd.osd_id):
+                continue
+            for key in sorted(osd._objects):
+                ino, index = key
+                if not osd.replica_clean(ino, index):
+                    errors.append((osd.osd_id, ino, index))
+        return errors
+
+    def start_scrub(self, **kwargs):
+        """Create (if needed) and start the background scrub daemon."""
+        from repro.storage.scrub import ScrubDaemon
+        if self.scrub is None:
+            self.scrub = ScrubDaemon(self, **kwargs)
+        self.scrub.start()
+        return self.scrub
 
     def write_extent(self, ino, offset, data):
         """Write ``data`` at ``offset`` of file ``ino`` to all replicas."""
@@ -355,13 +533,35 @@ class CephCluster(object):
         """
         parts = []
         for index, obj_off, length in self.object_extents(offset, size):
-            osd = self.osds[self._read_target(ino, index)]
-            obj = osd._objects.get((ino, index))
+            osd = self._peek_source(ino, index, obj_off, length)
+            obj = osd._objects.get((ino, index)) if osd is not None else None
             piece = bytes(obj[obj_off:obj_off + length]) if obj is not None else b""
             if len(piece) < length:
                 piece += b"\x00" * (length - len(piece))
             parts.append(piece)
         return b"".join(parts)
+
+    def _peek_source(self, ino, index, obj_off, length):
+        """The OSD whose store backs a zero-cost peek of one extent.
+
+        A cache hit models re-reading the client's resident copy, which
+        was verified when it was fetched — so with integrity armed the
+        peek prefers a replica whose digests still pass over the peeked
+        range, falling back to the primary's bytes only when every copy
+        is suspect (the client's RAM copy cannot rot with the backend).
+        """
+        target = self._read_target(ino, index)
+        if not self._integrity_armed:
+            return self.osds[target] if target is not None else None
+        candidates = [] if target is None else [target]
+        candidates += [
+            holder for holder in self.monitor.holders(ino, index)
+            if holder != target
+        ]
+        for osd_id in candidates:
+            if self.osds[osd_id].replica_clean(ino, index, obj_off, length):
+                return self.osds[osd_id]
+        return self.osds[target] if target is not None else None
 
     def purge(self, ino):
         """Background object deletion after unlink (no client-visible cost)."""

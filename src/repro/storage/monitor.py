@@ -134,26 +134,114 @@ class Monitor(object):
                     out.append((ino, index, missing))
         return out
 
+    def _clean_holders(self, ino, index):
+        """Live holders whose copy passes digest verification (no cost).
+
+        With integrity unarmed no digests exist, so every holder reports
+        clean and this degenerates to :meth:`holders`.
+        """
+        return [
+            osd_id for osd_id in self.holders(ino, index)
+            if self.cluster.osds[osd_id].replica_clean(ino, index)
+        ]
+
+    def _pick_source(self, ino, index):
+        """The best replica to copy from: clean before dirty, acting
+        members before stragglers. ``None`` when nothing is stored live."""
+        clean = self._clean_holders(ino, index)
+        pool = clean or self.holders(ino, index)
+        if not pool:
+            return None
+        acting = set(self.acting_set(ino, index))
+        for osd_id in pool:
+            if osd_id in acting:
+                return osd_id
+        return pool[0]
+
+    def _push_object(self, ino, index, source_id, target_id):
+        """Copy one object onto ``target`` without resurrecting stale bytes.
+
+        A client write can land mid-copy (recovery targets are acting
+        members, so foreground writes race the backfill). The push
+        snapshots the source, transfers, then re-checks the source's
+        mutation version: if a write raced the copy the transfer redoes
+        from fresh bytes — the pg-log ordering that keeps backfill from
+        clobbering newer data. Returns bytes moved.
+        """
+        source = self.cluster.osds[source_id]
+        target = self.cluster.osds[target_id]
+        moved = 0
+        for _ in range(8):
+            obj = source._objects.get((ino, index))
+            if obj is None:
+                return moved
+            version = source.object_version(ino, index)
+            data = bytes(obj)
+            if target.object_size(ino, index) > len(data):
+                # Cut a longer stale copy first so the full-object write
+                # below covers every surviving chunk — a rewrite that
+                # fully covers a chunk clears its poison, a partial one
+                # must not.
+                target.apply_truncate(ino, index, len(data))
+            yield from self.cluster.fabric.rpc(
+                target.write(ino, index, 0, data),
+                send_bytes=len(data), recv_bytes=0,
+            )
+            moved += len(data)
+            if source.object_version(ino, index) != version:
+                continue  # a write raced the copy: redo from fresh bytes
+            return moved
+        self.metrics.counter("push_races_abandoned").add(1)
+        return moved
+
     def recover(self):
         """Re-replicate every under-replicated object; sim generator.
 
-        Copies flow from a surviving holder to each missing acting member
-        over the fabric with full OSD write costs (journal + store).
+        Copies flow from a surviving holder (preferring verified-clean
+        replicas) to each missing acting member over the fabric with full
+        OSD write costs (journal + store).
         """
         moved = 0
         for ino, index, missing in self.under_replicated():
-            holders = self.holders(ino, index)
-            if not holders:
+            source = self._pick_source(ino, index)
+            if source is None:
                 continue  # data loss: nothing to copy from
-            source = self.cluster.osds[holders[0]]
-            data = bytes(source._objects[(ino, index)])
             for osd_id in missing:
-                target = self.cluster.osds[osd_id]
-                yield from self.cluster.fabric.rpc(
-                    target.write(ino, index, 0, data),
-                    send_bytes=len(data), recv_bytes=0,
+                moved += yield from self._push_object(
+                    ino, index, source, osd_id
                 )
-                moved += len(data)
         self.cluster.sim.trace("mon", "recovered", bytes=moved)
         self.metrics.counter("recovered_bytes").add(moved)
         return moved
+
+    def repair_object(self, ino, index, bad):
+        """Overwrite replicas that failed verification from a clean copy.
+
+        Used by read-repair and the scrub daemon; sim generator. Returns
+        the number of replicas repaired — 0 when no verified-clean source
+        exists (the caller quarantines the object instead).
+        """
+        bad = set(bad)
+        clean = [
+            osd_id for osd_id in self._clean_holders(ino, index)
+            if osd_id not in bad
+        ]
+        if not clean:
+            return 0
+        acting = set(self.acting_set(ino, index))
+        source = next(
+            (osd_id for osd_id in clean if osd_id in acting), clean[0]
+        )
+        repaired = 0
+        for osd_id in sorted(bad):
+            osd = self.cluster.osds[osd_id]
+            if osd.crashed or not self.is_up(osd_id):
+                continue  # a dead replica heals through mark_up/recover
+            yield from self._push_object(ino, index, source, osd_id)
+            repaired += 1
+        if repaired:
+            self.metrics.counter("objects_repaired").add(repaired)
+            self.cluster.sim.trace("mon", "repair", ino=ino, index=index,
+                                   source=source, replicas=repaired)
+            self.cluster.quarantined.discard((ino, index))
+        return repaired

@@ -8,7 +8,20 @@ one reason the paper's write workloads exercise the backend harder.
 
 Objects hold *real bytes*: the OSD store is the authoritative copy of all
 flushed file data in the simulation.
+
+Integrity. When checksums are armed (``verify_enabled``, set by
+:meth:`CephCluster.enable_integrity`), every write records a blake2b
+digest per ``costs.integrity_chunk_size`` chunk of the object, bluestore
+style: a partial overwrite re-digests only the chunks it touched, and a
+boundary chunk whose surviving old bytes no longer match their digest is
+*poisoned* rather than silently re-blessed — verification keeps failing
+until repair replaces the replica. Digest bookkeeping is pure Python
+dictionary work with no sim events, and it is entirely skipped when
+``verify_enabled`` is False, so integrity-off runs keep the exact
+pre-integrity event schedule.
 """
+
+import hashlib
 
 from repro.common.errors import InvalidArgument, OpTimeout
 from repro.hw.disk import RamDisk
@@ -16,6 +29,11 @@ from repro.metrics import MetricSet
 from repro.sim.sync import Semaphore
 
 __all__ = ["Osd"]
+
+#: Marks a chunk whose old bytes failed verification during a partial
+#: overwrite: its digest is unknowable without re-reading clean data, so
+#: the chunk stays permanently dirty until repair rewrites the object.
+_POISON = object()
 
 
 class Osd(object):
@@ -40,6 +58,13 @@ class Osd(object):
         self._objects = {}  # (ino, index) -> bytearray
         self._by_ino = {}  # ino -> set of indices
         self.crashed = False
+        #: record/check per-chunk digests; armed by enable_integrity()
+        self.verify_enabled = False
+        self._digests = {}  # (ino, index) -> {chunk_idx: digest | _POISON}
+        #: monotonic per-object mutation counter (always on: pure dict
+        #: work, no events). Recovery pushes use it to detect a write
+        #: racing their source snapshot.
+        self._versions = {}  # (ino, index) -> int
         self.metrics = MetricSet("osd%d" % osd_id)
 
     # -- fault injection -------------------------------------------------
@@ -55,6 +80,43 @@ class Osd(object):
         self.crashed = False
         self.sim.trace("osd", "restart", osd=self.osd_id)
 
+    def inject_bitrot(self, ino, index, rng, flips=8):
+        """Silently flip bits in this replica's stored bytes.
+
+        The recorded digests are deliberately left stale — that is the
+        fault being modelled: the device returns different bytes than
+        were acknowledged. No version bump, no trace of the mutation in
+        the object's own metadata; only verification can tell.
+        """
+        obj = self._objects.get((ino, index))
+        if not obj:
+            return 0
+        flips = min(flips, len(obj))
+        for _ in range(flips):
+            obj[rng.randrange(len(obj))] ^= 1 << rng.randrange(8)
+        self.metrics.counter("bitrot_injected").add(1)
+        self.sim.trace("osd", "bitrot", osd=self.osd_id, ino=ino,
+                       index=index, flips=flips)
+        return flips
+
+    def inject_torn_write(self, ino, index, keep_fraction=0.5):
+        """Silently truncate this replica's copy (a torn replica write).
+
+        Models a write acknowledged by the primary whose tail never
+        reached this replica's store. Digests for the lost tail stay
+        recorded, so verification detects the short copy.
+        """
+        obj = self._objects.get((ino, index))
+        if obj is None or len(obj) < 2:
+            return 0
+        keep = max(1, min(int(len(obj) * keep_fraction), len(obj) - 1))
+        lost = len(obj) - keep
+        del obj[keep:]
+        self.metrics.counter("torn_injected").add(1)
+        self.sim.trace("osd", "torn_write", osd=self.osd_id, ino=ino,
+                       index=index, lost=lost)
+        return lost
+
     def _check_up(self):
         """Dead-daemon behaviour: silence until the op timeout expires."""
         if self.crashed:
@@ -64,6 +126,126 @@ class Osd(object):
             # timeout surfaces out of a multi-target write attempt.
             err.osd_id = self.osd_id
             raise err
+
+    # -- integrity bookkeeping (pure state, no sim events) ----------------
+
+    def _digest(self, piece):
+        return hashlib.blake2b(piece, digest_size=16).digest()
+
+    def object_version(self, ino, index):
+        """Mutation counter of one object (0 if never written here)."""
+        return self._versions.get((ino, index), 0)
+
+    def _bump_version(self, key):
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def _precheck_overwrite(self, key, obj, touch_start, end):
+        """Poison boundary chunks whose surviving old bytes are corrupt.
+
+        ``[touch_start, end)`` is the range the write is about to redefine
+        (including any zero-fill extension). A chunk only partially inside
+        it keeps old bytes; if those no longer match the chunk's digest,
+        re-digesting after the write would bless the corruption — so the
+        chunk is poisoned instead and keeps failing verification until a
+        repair replaces the whole replica.
+        """
+        dig = self._digests.get(key)
+        if not dig or end <= touch_start:
+            return
+        size = self.costs.integrity_chunk_size
+        old_len = len(obj)
+        for chunk in {touch_start // size, (end - 1) // size}:
+            lo = chunk * size
+            hi = min(lo + size, old_len)
+            if hi <= lo:
+                continue  # the chunk held no bytes before this write
+            if touch_start <= lo and end >= hi:
+                continue  # every old byte of the chunk is overwritten
+            want = dig.get(chunk)
+            if want is None or want is _POISON:
+                continue
+            if self._digest(bytes(obj[lo:hi])) != want:
+                dig[chunk] = _POISON
+
+    def _record_digests(self, key, obj, touch_start, end):
+        """Re-digest the chunks covering ``[touch_start, end)``."""
+        if end <= touch_start:
+            return
+        dig = self._digests.setdefault(key, {})
+        size = self.costs.integrity_chunk_size
+        for chunk in range(touch_start // size, (end - 1) // size + 1):
+            lo = chunk * size
+            hi = min(lo + size, len(obj))
+            if dig.get(chunk) is _POISON and not (touch_start <= lo and end >= hi):
+                continue  # partially-rewritten poisoned chunk stays poisoned
+            dig[chunk] = self._digest(bytes(obj[lo:hi]))
+
+    def _apply_object_truncate(self, key, size):
+        """Cut one stored object to ``size`` bytes, maintaining digests."""
+        obj = self._objects.get(key)
+        if obj is None or size >= len(obj):
+            return
+        dig = self._digests.get(key)
+        csize = self.costs.integrity_chunk_size
+        if dig and size % csize:
+            # The cut chunk's surviving head keeps old bytes: verify them
+            # before re-digesting the now-shorter chunk.
+            chunk = size // csize
+            lo = chunk * csize
+            hi = min(lo + csize, len(obj))
+            want = dig.get(chunk)
+            if want is not None and want is not _POISON \
+                    and self._digest(bytes(obj[lo:hi])) != want:
+                dig[chunk] = _POISON
+        del obj[size:]
+        self._bump_version(key)
+        if dig is not None:
+            keep = (size + csize - 1) // csize
+            for chunk in [c for c in dig if c >= keep]:
+                del dig[chunk]
+            if size % csize:
+                chunk = size // csize
+                if dig.get(chunk) is not _POISON:
+                    dig[chunk] = self._digest(bytes(obj[chunk * csize:size]))
+
+    def replica_clean(self, ino, index, offset=None, size=None):
+        """Digest-check this replica over a byte range; pure state, no cost.
+
+        Checks the chunks covering ``[offset, offset+size)`` (the whole
+        object when ``offset`` is None) against the recorded digests.
+        Chunks written before integrity was armed have no digest and are
+        adopted (digested as-is) on first check. The checked span extends
+        to whatever the digests claim the object holds, so a torn replica
+        — shorter than its recorded chunks — fails even though every byte
+        it still has is intact. Returns False on any mismatch or poison.
+        """
+        key = (ino, index)
+        obj = self._objects.get(key)
+        dig = self._digests.get(key)
+        if obj is None:
+            # No copy here: clean unless digests claim we should have one
+            # (the fully-torn case is handled by drop_object purging both).
+            return not dig
+        if not dig:
+            if self.verify_enabled and len(obj):
+                self._record_digests(key, obj, 0, len(obj))
+            return True
+        csize = self.costs.integrity_chunk_size
+        top = max(len(obj), (max(dig) + 1) * csize)
+        start = 0 if offset is None else max(offset, 0)
+        end = top if offset is None else min(offset + size, top)
+        if end <= start:
+            return True
+        for chunk in range(start // csize, (end - 1) // csize + 1):
+            piece = bytes(obj[chunk * csize:(chunk + 1) * csize])
+            want = dig.get(chunk)
+            if want is None:
+                if piece and self.verify_enabled:
+                    dig[chunk] = self._digest(piece)
+                continue
+            if want is _POISON or self._digest(piece) != want:
+                return False
+        return True
 
     # -- server-side operations (sim generators) -------------------------
 
@@ -109,9 +291,16 @@ class Osd(object):
                 obj = self._objects[key] = bytearray()
                 self._by_ino.setdefault(ino, set()).add(index)
             end = offset + len(data)
-            if offset > len(obj):
-                obj.extend(b"\x00" * (offset - len(obj)))
+            old_len = len(obj)
+            touch_start = min(offset, old_len)
+            if self.verify_enabled:
+                self._precheck_overwrite(key, obj, touch_start, end)
+            if offset > old_len:
+                obj.extend(b"\x00" * (offset - old_len))
             obj[offset:end] = data
+            self._bump_version(key)
+            if self.verify_enabled:
+                self._record_digests(key, obj, touch_start, end)
         finally:
             self._slots.release()
         self.metrics.counter("writes").add(1)
@@ -129,17 +318,70 @@ class Osd(object):
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
-            obj = self._objects.get((ino, index))
-            if obj is not None:
-                del obj[size:]
+            self._apply_object_truncate((ino, index), size)
         finally:
             self._slots.release()
 
+    def verify_range(self, ino, index, offset=None, size=None):
+        """Deep verify: re-read stored bytes and digest-check them.
+
+        Sim generator paying device read + checksum cost over the checked
+        span; returns True when the replica passes. The digest comparison
+        itself is :meth:`replica_clean`.
+        """
+        yield from self._check_up()
+        started = self.sim.now
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.osd_op)
+            obj = self._objects.get((ino, index))
+            span = 0
+            if obj is not None:
+                if offset is None:
+                    span = len(obj)
+                else:
+                    span = max(0, min(offset + size, len(obj)) - max(offset, 0))
+            if span:
+                yield from self.device.transfer(span)
+                yield self.sim.timeout(self.costs.verify_cost(span))
+            ok = self.replica_clean(ino, index, offset=offset, size=size)
+        finally:
+            self._slots.release()
+        self.metrics.counter("verifies").add(1)
+        if not ok:
+            self.metrics.counter("verify_failures").add(1)
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("osd%d" % self.osd_id).histogram(
+                "verify_service_s"
+            ).observe(self.sim.now - started)
+        return ok
+
+    def scrub_meta(self, ino, index):
+        """Light-scrub probe: object size + digest fingerprint.
+
+        Metadata-only cost (no byte re-read); replicas whose probes
+        disagree are escalated to a deep verify by the scrub daemon.
+        """
+        yield from self._check_up()
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.scrub_meta_op)
+            obj = self._objects.get((ino, index))
+            dig = self._digests.get((ino, index)) or {}
+            size = len(obj) if obj is not None else -1
+            fingerprint = tuple(sorted(
+                (chunk, b"!poison" if d is _POISON else d)
+                for chunk, d in dig.items()
+            ))
+        finally:
+            self._slots.release()
+        self.metrics.counter("scrub_probes").add(1)
+        return size, fingerprint
+
     def apply_truncate(self, ino, index, size):
         """Apply a truncate directly to the store (recovery replay, no cost)."""
-        obj = self._objects.get((ino, index))
-        if obj is not None:
-            del obj[size:]
+        self._apply_object_truncate((ino, index), size)
 
     def drop_object(self, ino, index):
         """Discard one stored object (stale-copy cleanup on recovery)."""
@@ -147,6 +389,8 @@ class Osd(object):
             indices = self._by_ino.get(ino)
             if indices is not None:
                 indices.discard(index)
+        self._digests.pop((ino, index), None)
+        self._versions.pop((ino, index), None)
 
     # -- maintenance (no cost: background purge) -----------------------------
 
@@ -154,6 +398,8 @@ class Osd(object):
         """Drop every object of ``ino`` (async purge after unlink)."""
         for index in self._by_ino.pop(ino, set()):
             self._objects.pop((ino, index), None)
+            self._digests.pop((ino, index), None)
+            self._versions.pop((ino, index), None)
 
     def object_size(self, ino, index):
         obj = self._objects.get((ino, index))

@@ -462,3 +462,34 @@ def test_chaos_same_seed_reproduces_identical_run():
     assert one.ok and two.ok
     assert one.fingerprint() == two.fingerprint()
     assert one.plan_log == two.plan_log
+
+
+@pytest.mark.chaos
+@pytest.mark.scrub
+def test_chaos_corruption_is_repaired_by_scrub():
+    """Silent corruption (bit flips + torn replica writes) under the full
+    fault mix: every acknowledged write reads back intact, the scrub
+    drain converges and no corrupt replica or quarantined object is left."""
+    result = run_chaos(seed=11, duration=10.0, replicas=2,
+                       bitrot=2, torn_writes=1, scrub=True)
+    assert result.corruptions >= 1, "the plan must actually damage replicas"
+    assert result.scrub_converged
+    assert result.integrity_errors == []
+    assert result.quarantined == []
+    assert result.repairs >= 1
+    assert result.ok
+    kinds = {entry[2] for entry in result.plan_log}
+    assert kinds & {"bitrot", "torn_write"}
+
+
+@pytest.mark.chaos
+@pytest.mark.scrub
+def test_chaos_corruption_run_is_deterministic():
+    kwargs = dict(seed=5, duration=8.0, replicas=2,
+                  bitrot=1, torn_writes=1, scrub=True)
+    one = run_chaos(**kwargs)
+    two = run_chaos(**kwargs)
+    assert one.ok and two.ok
+    assert one.fingerprint() == two.fingerprint()
+    assert one.corruptions == two.corruptions
+    assert one.repairs == two.repairs

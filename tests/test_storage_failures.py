@@ -146,6 +146,40 @@ def test_recovered_object_readable_from_new_member(sim, costs):
     assert run(sim, proc()) == payload
 
 
+def test_recovery_never_resurrects_stale_bytes(sim, costs):
+    """Monitor.recover() racing a concurrent write must not push its
+    stale source snapshot over newer bytes: the push re-checks the
+    source's mutation version and redoes the copy from fresh data."""
+    cluster = make_cluster(sim, costs, replicas=2)
+    old = b"o" * units.kib(64)   # full object: a slow recovery copy
+    piece = b"NEWDATA!" * 512    # 4 KiB overwrite racing the copy
+
+    def proc():
+        yield from cluster.write_extent(6, 0, old)
+        victim = cluster.monitor.acting_set(6, 0)[-1]
+        cluster.osds[victim].crash()
+        cluster.monitor.mark_down(victim)
+        recovery = sim.spawn(cluster.monitor.recover(), name="recover")
+        # let recovery snapshot the source and start its 64 KiB push,
+        # then land a small write while the copy is in flight
+        yield sim.timeout(1e-5)
+        yield from cluster.write_extent(6, 0, piece)
+        yield sim.all_of([recovery])
+        data = yield from cluster.read_extent(6, 0, len(old))
+        return data, recovery.value
+
+    expected = piece + old[len(piece):]
+    data, moved = run(sim, proc())
+    assert data == expected
+    # every live holder converged on the post-race content
+    holders = cluster.monitor.holders(6, 0)
+    assert len(holders) >= 2
+    for osd_id in holders:
+        assert bytes(cluster.osds[osd_id]._objects[(6, 0)]) == expected
+    # the version check detected the racing write and redid the copy
+    assert moved > len(old)
+
+
 def test_degraded_flag(sim, costs):
     cluster = make_cluster(sim, costs)
     assert not cluster.degraded
