@@ -1,0 +1,47 @@
+"""Engine wall-clock benchmark: reference scenarios + determinism check.
+
+Runs the same harness as ``scripts/bench_engine.py`` under
+pytest-benchmark, writes ``BENCH_engine.json`` at the repo root, and
+asserts every scenario fingerprint matches the committed baseline
+(``benchmarks/BENCH_engine_baseline.json``) — i.e. the engine schedules
+byte-identically to the run that produced the baseline. Wall-clock is
+reported but only *gated* here when the calibration-normalized total
+regresses past the harness threshold, mirroring the CI job.
+"""
+
+import importlib.util
+import json
+import os
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BASELINE = os.path.join(_ROOT, "benchmarks", "BENCH_engine_baseline.json")
+_OUT = os.path.join(_ROOT, "BENCH_engine.json")
+
+
+def _load_harness():
+    path = os.path.join(_ROOT, "scripts", "bench_engine.py")
+    spec = importlib.util.spec_from_file_location("bench_engine", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_engine_bench_reference_scenarios(once):
+    harness = _load_harness()
+    record = once(harness.run_bench)
+
+    with open(_OUT, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print()
+    for name, cell in sorted(record["scenarios"].items()):
+        print("  %-14s wall=%7.3fs fingerprint=%s"
+              % (name, cell["wall_s"], cell["fingerprint"]))
+    print("  %-14s wall=%7.3fs (calibration %.4fs)"
+          % ("total", record["total_wall_s"], record["calibration_s"]))
+
+    with open(_BASELINE) as handle:
+        baseline = json.load(handle)
+    failures = harness.check_against(record, baseline, threshold=0.25)
+    assert not failures, "; ".join(failures)

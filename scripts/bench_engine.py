@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the DES engine and the stacks on it.
+
+Runs the reference scenarios (pure-engine micro loops, a sequential-read
+stack, a chaos run, the Fig. 11 scale-up sweep), measures wall-clock
+seconds for each, and records a *behavior fingerprint* per scenario — a
+stable hash of the simulated outcome (event-schedule-sensitive values:
+final times, throughputs, chaos determinism fingerprints). Two engines
+that schedule byte-identically produce equal fingerprints, so the file
+doubles as a determinism witness for scheduler changes.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_engine.py --out BENCH_engine.json
+    PYTHONPATH=src python scripts/bench_engine.py \
+        --check benchmarks/BENCH_engine_baseline.json
+
+``--check`` exits non-zero when any fingerprint differs from the
+baseline (a determinism break) or when total wall-clock regresses by
+more than ``--threshold`` (default 25%) against the baseline.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.faults import run_chaos  # noqa: E402
+from repro.bench.scaleup import run_file_scaleup, run_pool_scaleup  # noqa: E402
+from repro.bench.sequential import run_sequential  # noqa: E402
+from repro.sim.bench import schedule_fingerprint  # noqa: E402
+
+
+def _stable_hash(value):
+    """Hash of a JSON-able value; stable across runs of the same schedule."""
+    canonical = json.dumps(value, sort_keys=True)
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def _calibrate():
+    """Wall seconds for a fixed pure-Python workload (best of 3).
+
+    The baseline JSON is committed from whatever machine generated it;
+    CI runners are usually slower. Storing this per-record lets
+    ``check_against`` compare *normalized* walls (scenario seconds per
+    calibration second) instead of raw seconds across machines.
+    """
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(1_000_000):
+            acc = (acc + i * 7) % 1000003
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+# -- scenarios ------------------------------------------------------------
+#
+# Each scenario returns (fingerprint_hex, detail_dict). Wall-clock is
+# measured around the call by the driver.
+
+def scenario_micro():
+    """Pure-engine micro loops: every scheduling path, no storage stack."""
+    detail = {}
+    parts = []
+    for name, kwargs in (
+        ("torture", dict(seed=1, nworkers=24, steps=40)),
+        ("interrupts", dict(seed=2, npairs=16)),
+        ("combinators", dict(seed=3, rounds=12)),
+    ):
+        digest, final = schedule_fingerprint(name, **kwargs)
+        detail[name] = {"fingerprint": digest, "final_time": final}
+        parts.append(digest)
+    return _stable_hash(parts), detail
+
+
+def scenario_seqread():
+    """Fig. 9 sequential read, one Danaus pool pair (client_lock path)."""
+    rows = [run_sequential("D", 2, "read", duration=2.0, seed=1)]
+    return _stable_hash(rows), {"rows": rows}
+
+
+def scenario_chaos():
+    """Corruption chaos with scrub: the nightly-matrix cell shape."""
+    result = run_chaos(
+        seed=7, duration=6.0, replicas=2, bitrot=2, torn_writes=1,
+        scrub=True,
+    )
+    digest = hashlib.blake2b(
+        repr(result.fingerprint()).encode(), digest_size=16
+    ).hexdigest()
+    return digest, {
+        "ok": result.ok,
+        "corruptions": result.corruptions,
+        "repairs": result.repairs,
+        "retries": result.retries,
+    }
+
+
+def scenario_scaleup():
+    """The reference scale-up sweep (Fig. 11 Fileappend, 8 clones)."""
+    rows = [
+        run_file_scaleup(symbol, 8, "append", seed=1)
+        for symbol in ("D", "K/K", "F/F", "FP/FP")
+    ]
+    return _stable_hash(rows), {"rows": rows}
+
+
+def scenario_scaleup_wide():
+    """One notch toward the paper's sweep: 8 pools / 16 containers."""
+    rows = [
+        run_pool_scaleup("D", n_pools=8, clones_per_pool=2, mode="append",
+                         seed=1),
+        run_file_scaleup("D", 16, "append", seed=1),
+    ]
+    return _stable_hash(rows), {"rows": rows}
+
+
+SCENARIOS = [
+    ("micro", scenario_micro),
+    ("seqread", scenario_seqread),
+    ("chaos", scenario_chaos),
+    ("scaleup", scenario_scaleup),
+    ("scaleup_wide", scenario_scaleup_wide),
+]
+
+
+def run_bench(names=None):
+    record = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "calibration_s": round(_calibrate(), 5),
+        "scenarios": {},
+        "total_wall_s": 0.0,
+    }
+    for name, fn in SCENARIOS:
+        if names and name not in names:
+            continue
+        start = time.perf_counter()
+        fingerprint, detail = fn()
+        wall = time.perf_counter() - start
+        record["scenarios"][name] = {
+            "wall_s": round(wall, 4),
+            "fingerprint": fingerprint,
+            "detail": detail,
+        }
+        record["total_wall_s"] = round(record["total_wall_s"] + wall, 4)
+        print("bench %-14s wall=%7.3fs fingerprint=%s"
+              % (name, wall, fingerprint), file=sys.stderr)
+    return record
+
+
+def check_against(record, baseline, threshold):
+    """Compare a fresh record to a baseline; returns a list of failures."""
+    failures = []
+    for name, cell in baseline.get("scenarios", {}).items():
+        fresh = record["scenarios"].get(name)
+        if fresh is None:
+            failures.append("scenario %r missing from this run" % name)
+            continue
+        if fresh["fingerprint"] != cell["fingerprint"]:
+            failures.append(
+                "determinism break in %r: fingerprint %s != baseline %s"
+                % (name, fresh["fingerprint"], cell["fingerprint"])
+            )
+    base_wall = baseline.get("total_wall_s") or 0.0
+    if base_wall > 0:
+        fresh_wall = record["total_wall_s"]
+        ratio = fresh_wall / base_wall
+        base_cal = baseline.get("calibration_s") or 0.0
+        fresh_cal = record.get("calibration_s") or 0.0
+        if base_cal > 0 and fresh_cal > 0:
+            # Also compare machine-speed-normalized walls (seconds per
+            # calibration second) and take the *smaller* ratio: a real
+            # engine regression inflates both, a slower CI runner only
+            # inflates the raw one, and calibration jitter only the
+            # normalized one. Requiring both avoids false alarms from
+            # either source.
+            normalized = (fresh_wall / fresh_cal) / (base_wall / base_cal)
+            ratio = min(ratio, normalized)
+        if ratio > 1.0 + threshold:
+            failures.append(
+                "wall-clock regression: %.3fs vs baseline %.3fs (%.0f%% > %.0f%%)"
+                % (fresh_wall, base_wall,
+                   (ratio - 1.0) * 100, threshold * 100)
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="write BENCH_engine.json here (default: stdout)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare fingerprints + wall-clock to a "
+                             "committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed wall-clock regression vs baseline "
+                             "(fraction, default 0.25)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="run only this scenario (repeatable)")
+    args = parser.parse_args(argv)
+
+    record = run_bench(args.scenario)
+    payload = json.dumps(record, indent=2, sort_keys=True)
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    else:
+        print(payload)
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_against(record, baseline, args.threshold)
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        if failures:
+            return 1
+        print("check ok: fingerprints match, wall %.3fs vs baseline %.3fs"
+              % (record["total_wall_s"], baseline.get("total_wall_s", 0.0)),
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from repro.stacks import StackFactory
 from repro.workloads import Fileappend, Fileread
 from repro.world import World
 
-__all__ = ["FileScaleup", "run_file_scaleup"]
+__all__ = ["FileScaleup", "run_file_scaleup", "run_pool_scaleup"]
 
 IMAGE_PATH = "/images/shared"
 SHARED_FILE = "/shared.bin"
@@ -64,6 +64,60 @@ def run_file_scaleup(symbol, n_clones, mode, pool_cores=8, seed=1):
     }
 
 
+def run_pool_scaleup(symbol, n_pools, clones_per_pool, mode="append",
+                     cores_per_pool=2, seed=1):
+    """Two-axis scale-up: N pools, each running M cloned containers.
+
+    The paper's §6.3 sweep scales both axes (up to 32 pools / 256
+    containers); this reproduction extends one notch at a time as engine
+    headroom allows — 8 pools x 2 clones = 16 containers today. Every
+    pool gets its own stack instance over a dedicated cpuset, so the
+    sweep also exercises cross-pool interference, unlike
+    :func:`run_file_scaleup` which stresses a single pool.
+    """
+    total_cores = n_pools * cores_per_pool
+    world = World(
+        num_cores=max(total_cores, 4), ram_bytes=units.gib(512),
+        costs=scaled_costs(),
+    )
+    world.activate_cores(total_cores)
+    seed_tree(
+        world,
+        {SHARED_FILE: pseudo_bytes(SHARED_SIZE, (seed, "shared"))},
+        IMAGE_PATH,
+    )
+    workloads = []
+    pools = []
+    for pindex in range(n_pools):
+        pool = world.engine.create_pool(
+            "sp%d" % pindex, num_cores=cores_per_pool,
+            ram_bytes=units.gib(32),
+        )
+        pools.append(pool)
+        factory = StackFactory(world, pool, symbol)
+        for cindex in range(clones_per_pool):
+            mount = factory.mount_root(
+                "p%dc%d" % (pindex, cindex), image_path=IMAGE_PATH
+            )
+            cls = Fileappend if mode == "append" else Fileread
+            workloads.append(
+                cls(mount.fs, pool, path=SHARED_FILE,
+                    seed=seed + pindex * clones_per_pool + cindex)
+            )
+    start = world.sim.now
+    run_all(world, [w.start() for w in workloads], budget=100000)
+    timespan = world.sim.now - start
+    return {
+        "symbol": symbol,
+        "pools": n_pools,
+        "clones_per_pool": clones_per_pool,
+        "containers": n_pools * clones_per_pool,
+        "mode": mode,
+        "timespan_s": timespan,
+        "max_memory_mb": max(p.ram.high_water for p in pools) / units.MIB,
+    }
+
+
 class FileScaleup(Experiment):
     experiment_id = "fig11a"
     title = "Fileappend timespan and max memory, N clones in one pool"
@@ -75,7 +129,7 @@ class FileScaleup(Experiment):
     )
 
     def __init__(self, symbols=("D", "K/K", "F/F", "FP/FP"),
-                 clone_counts=(2, 8), mode="append", **params):
+                 clone_counts=(2, 8, 16), mode="append", **params):
         super().__init__(**params)
         self.symbols = symbols
         self.clone_counts = clone_counts

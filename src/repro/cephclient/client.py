@@ -565,7 +565,8 @@ class CephLibClient(Filesystem):
         if not self._has_dirty(ino):
             self._dirty_since.pop(ino, None)
         self.metrics.counter("bytes_flushed").add(flushed)
-        self.sim.trace("client", "flush", client=self.name, bytes=flushed)
+        if self.sim.tracer is not None:
+            self.sim.trace("client", "flush", client=self.name, bytes=flushed)
         self._notify_flush_progress()
         return flushed
 

@@ -32,9 +32,23 @@ class ExtentBuffer(object):
         if not data:
             return
         start, end = offset, offset + len(data)
-        merged = bytearray(data)
-        # Find all existing extents overlapping or adjacent to [start, end).
         index = bisect.bisect_left(self._offsets, start)
+        if index > 0:
+            prev_start = self._offsets[index - 1]
+            prev = self._data[prev_start]
+            prev_end = prev_start + len(prev)
+            if prev_end >= start and (
+                index == len(self._offsets) or self._offsets[index] > end
+            ):
+                # The write lands entirely inside/at the tail of the previous
+                # extent and touches no later one: splice in place instead of
+                # re-copying the merged extent (sequential appends are O(n^2)
+                # without this).
+                lo = start - prev_start
+                prev[lo:lo + len(data)] = data
+                self.dirty_bytes += max(end, prev_end) - prev_end
+                return
+        merged = bytearray(data)
         if index > 0:
             prev_start = self._offsets[index - 1]
             if prev_start + len(self._data[prev_start]) >= start:

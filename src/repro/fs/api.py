@@ -79,8 +79,13 @@ class Task(object):
         self.pid = pid
 
     def cpu(self, seconds):
-        """Consume ``seconds`` of CPU on this task's thread."""
-        yield from self.thread.run(seconds)
+        """Consume ``seconds`` of CPU on this task's thread.
+
+        Returns the :meth:`SimThread.run` generator directly rather than
+        wrapping it — ``yield from task.cpu(x)`` otherwise pays a second
+        generator frame on every single CPU charge in the simulation.
+        """
+        return self.thread.run(seconds)
 
     def __repr__(self):
         return "<Task pid=%d thread=%s>" % (self.pid, self.thread.name)

@@ -12,12 +12,22 @@ from repro.common.errors import InvalidArgument
 __all__ = ["normalize", "split", "join", "components", "parent_of", "basename"]
 
 
+#: normalize() memo — every filesystem layer normalises the same few
+#: workload paths millions of times per run. Only successful results are
+#: cached; malformed paths take the checked path and raise every time.
+_normalized = {}
+
+
 def normalize(path):
     """Normalise ``path`` to a canonical absolute form.
 
     Collapses duplicate slashes and '.' components and resolves '..'
     lexically (never escaping the root).
     """
+    if type(path) is str:
+        cached = _normalized.get(path)
+        if cached is not None:
+            return cached
     if not isinstance(path, str) or not path:
         raise InvalidArgument("empty path")
     if not path.startswith("/"):
@@ -31,7 +41,11 @@ def normalize(path):
                 parts.pop()
             continue
         parts.append(part)
-    return "/" + "/".join(parts)
+    result = "/" + "/".join(parts)
+    if len(_normalized) >= 4096:
+        _normalized.clear()
+    _normalized[path] = result
+    return result
 
 
 def components(path):

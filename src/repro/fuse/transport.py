@@ -112,7 +112,8 @@ class FuseTransport(Filesystem):
             )
             request = _FuseRequest(self.sim, op, args, payload_out)
             yield self._queue.put(request)
-            self.sim.trace("fuse", "call", transport=self.name, op=op)
+            if self.sim.tracer is not None:
+                self.sim.trace("fuse", "call", transport=self.name, op=op)
             self.metrics.counter("fuse_calls").add(1)
             self.metrics.counter("ctx_switches").add(
                 costs.fuse_switches_per_call

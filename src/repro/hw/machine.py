@@ -58,25 +58,34 @@ class RamAccount(object):
     def charge(self, nbytes):
         if nbytes < 0:
             raise ConfigError("negative memory charge")
-        if self.used + nbytes > self.capacity:
-            raise OutOfMemory(
-                "%s: %d + %d exceeds %d bytes"
-                % (self.name, self.used, nbytes, self.capacity)
-            )
-        if self.parent is not None:
-            self.parent.charge(nbytes)
-        self.used += nbytes
-        if self.used > self.high_water:
-            self.high_water = self.used
+        # Validate the whole ancestor chain before mutating any account, so
+        # a limit hit partway up leaves every account untouched.
+        account = self
+        while account is not None:
+            if account.used + nbytes > account.capacity:
+                raise OutOfMemory(
+                    "%s: %d + %d exceeds %d bytes"
+                    % (account.name, account.used, nbytes, account.capacity)
+                )
+            account = account.parent
+        account = self
+        while account is not None:
+            used = account.used + nbytes
+            account.used = used
+            if used > account.high_water:
+                account.high_water = used
+            account = account.parent
 
     def uncharge(self, nbytes):
-        if nbytes > self.used:
-            raise ConfigError(
-                "%s: uncharge %d exceeds used %d" % (self.name, nbytes, self.used)
-            )
-        self.used -= nbytes
-        if self.parent is not None:
-            self.parent.uncharge(nbytes)
+        account = self
+        while account is not None:
+            if nbytes > account.used:
+                raise ConfigError(
+                    "%s: uncharge %d exceeds used %d"
+                    % (account.name, nbytes, account.used)
+                )
+            account.used -= nbytes
+            account = account.parent
 
     def can_charge(self, nbytes):
         """True when ``nbytes`` fits under this account and its ancestors."""

@@ -152,19 +152,39 @@ class PageCache(object):
         of newly inserted pages (pages that could not be charged even after
         eviction are simply not cached — the kernel serves them uncached).
         """
-        inserted = 0
+        pages = cf.pages
+        lru = self._lru
+        key = cf.key
+        missing = []
         for index in self.page_range(offset, size):
-            if index in cf.pages:
-                self._lru_touch(cf, index)
-                continue
-            if not account.can_charge(self.page_size):
+            if index in pages:
+                lru_key = (key, index)
+                if lru_key in lru:
+                    lru.move_to_end(lru_key)
+            else:
+                missing.append(index)
+        if not missing:
+            return 0
+        page_size = self.page_size
+        if account.can_charge(page_size * len(missing)):
+            # Fast path: the whole batch fits without eviction, so charge
+            # once and materialise the pages in a tight loop.
+            account.charge(page_size * len(missing))
+            for index in missing:
+                pages[index] = Page(account)
+                lru[(key, index)] = None
+            self.insertions += len(missing)
+            return len(missing)
+        inserted = 0
+        for index in missing:
+            if not account.can_charge(page_size):
                 if not self._evict_one():
                     continue  # nothing reclaimable: serve uncached
-                if not account.can_charge(self.page_size):
+                if not account.can_charge(page_size):
                     continue
-            account.charge(self.page_size)
-            cf.pages[index] = Page(account)
-            self._lru[(cf.key, index)] = None
+            account.charge(page_size)
+            pages[index] = Page(account)
+            lru[(key, index)] = None
             inserted += 1
             self.insertions += 1
         return inserted

@@ -163,7 +163,9 @@ class WritebackDaemon(object):
                 yield from cf.flush_fn(nbytes, picked)
                 self.page_cache.clean(cf, picked)
                 self.pages_flushed += len(picked)
-                self.sim.trace("wb", "flush", file=str(cf.key), pages=len(picked))
+                if self.sim.tracer is not None:
+                    self.sim.trace("wb", "flush", file=str(cf.key),
+                                   pages=len(picked))
                 if self.metrics is not None:
                     self.metrics.counter("wb.pages_flushed").add(len(picked))
                 if obs is not None:
@@ -196,7 +198,8 @@ class WritebackDaemon(object):
                 self._progress_waiters.append(progress)
                 timeout = self.sim.timeout(self.costs.writeback_interval)
                 yield self.sim.any_of([progress, timeout])
-                self.sim.trace("wb", "throttle", account=account.name)
+                if self.sim.tracer is not None:
+                    self.sim.trace("wb", "throttle", account=account.name)
                 if self.metrics is not None:
                     self.metrics.counter("wb.throttle_waits").add(1)
         finally:

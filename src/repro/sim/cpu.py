@@ -137,10 +137,21 @@ class SimThread(object):
         """
         if self.pinned is not None:
             return self.pinned
-        best = self.cpuset[0]
-        for core in self.cpuset[1:]:
-            if (core.load, core.busy_time) < (best.load, best.busy_time):
+        cpuset = self.cpuset
+        best = cpuset[0]
+        if len(cpuset) == 1:
+            return best
+        mux = best._mutex
+        best_load = len(mux._waiters) + (mux._owner is not None)
+        best_busy = best.busy_time
+        for core in cpuset[1:]:
+            mux = core._mutex
+            load = len(mux._waiters) + (mux._owner is not None)
+            if load < best_load or (load == best_load
+                                    and core.busy_time < best_busy):
                 best = core
+                best_load = load
+                best_busy = core.busy_time
         return best
 
     def run(self, cpu_seconds, quantum=DEFAULT_QUANTUM):
@@ -152,13 +163,44 @@ class SimThread(object):
         """
         if cpu_seconds < 0:
             raise SimulationError("negative cpu time %r" % cpu_seconds)
+        sim = self.sim
         remaining = cpu_seconds
+        # The body of pick_core()/Core.occupy() is inlined here: this loop
+        # runs once per quantum for every simulated CPU charge in every
+        # experiment, and the nested-generator and property-call overhead
+        # dominated scheduler profiles. Event order is identical to the
+        # un-inlined form (acquire, timeout, release).
         while remaining > 1e-12:
             if self.killed:
                 raise ThreadKilled("thread %s was killed" % self.name)
             piece = remaining if remaining < quantum else quantum
-            core = self.pick_core()
-            switched = yield from core.occupy(piece, thread=self)
+            core = self.pinned
+            if core is None:
+                cpuset = self.cpuset
+                core = cpuset[0]
+                if len(cpuset) > 1:
+                    mux = core._mutex
+                    best_load = len(mux._waiters) + (mux._owner is not None)
+                    best_busy = core.busy_time
+                    for cand in cpuset[1:]:
+                        mux = cand._mutex
+                        load = len(mux._waiters) + (mux._owner is not None)
+                        if load < best_load or (load == best_load
+                                                and cand.busy_time < best_busy):
+                            core = cand
+                            best_load = load
+                            best_busy = cand.busy_time
+            yield core._mutex.acquire(who=self)
+            switched = core.last_thread is not self
+            core.last_thread = self
+            try:
+                yield sim.timeout(piece)
+                core.busy_time += piece
+                obs = sim.observer
+                if obs is not None:
+                    obs.record_cpu(core, self, piece, switched)
+            finally:
+                core._mutex.release()
             if switched:
                 self.ctx_switches += 1
             self.cpu_time += piece

@@ -18,9 +18,33 @@ value once the event triggers. Exceptions propagate: failing an event with
 The engine is deliberately small but complete: one-shot events, timeouts,
 process join, ``any_of``/``all_of`` combinators and interrupts. It is
 deterministic — two runs with the same seed produce identical traces.
+
+Scheduler design (the hot path)
+-------------------------------
+
+Pending work lives in two tiers:
+
+* a **now-queue** — a FIFO deque of ``(seq, fn, arg)`` entries for
+  callbacks scheduled *at the current time* (event callback batches,
+  process resumptions). Same-timestamp work is the overwhelming
+  majority of scheduler traffic (every uncontended lock acquire, every
+  resumption on an already-triggered event), and a deque append/popleft
+  is O(1) where a heap push/pop is O(log n);
+* a **time-ordered heap** of ``(when, seq, fn, arg)`` entries for
+  callbacks at future times (timeouts).
+
+Entries are *tuple-dispatched*: ``fn`` is a bound method (or plain
+callback) invoked as ``fn(arg)`` — no per-call lambda closures are
+allocated. A single monotonically increasing sequence number spans both
+tiers, and the run loop always executes the entry with the smallest
+``(when, seq)`` pair, so the schedule is **byte-identical** to the
+original single-heap scheduler: the two-tier split is a pure wall-clock
+optimization (see ``repro.sim.bench`` for the fingerprint machinery
+that pins this equivalence).
 """
 
 import heapq
+from collections import deque
 
 from repro.common.errors import SimulationError
 
@@ -33,6 +57,17 @@ __all__ = [
     "AnyOf",
     "AllOf",
 ]
+
+
+class _CrashHalt(BaseException):
+    """Internal control-flow signal: an unobserved crash was recorded.
+
+    Raised by :meth:`Simulator._record_crash` to unwind straight out of
+    the run loop, so the loop body itself carries no per-event crash
+    check. Derives from ``BaseException`` so generator code that catches
+    ``Exception`` cannot swallow it (it never crosses user frames in
+    normal operation — crashes are recorded only from engine frames).
+    """
 
 
 class Event(object):
@@ -73,7 +108,8 @@ class Event(object):
             raise SimulationError("event %r already triggered" % self)
         self.triggered = True
         self._value = value
-        self.sim._schedule_event(self)
+        if self.callbacks:
+            self.sim._schedule_event(self)
         return self
 
     def fail(self, exc):
@@ -87,7 +123,8 @@ class Event(object):
             raise SimulationError("fail() requires an exception instance")
         self.triggered = True
         self._exc = exc
-        self.sim._schedule_event(self)
+        if self.callbacks:
+            self.sim._schedule_event(self)
         return self
 
     def subscribe(self, callback):
@@ -98,7 +135,7 @@ class Event(object):
         semantics for the caller.
         """
         if self.triggered:
-            self.sim._schedule_call(lambda: callback(self))
+            self.sim._schedule_call(callback, self)
         else:
             self.callbacks.append(callback)
 
@@ -116,13 +153,32 @@ class Timeout(Event):
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise SimulationError("negative timeout delay %r" % delay)
-        super().__init__(sim, name="Timeout(%g)" % delay)
+        # Event.__init__ and Simulator._schedule are flattened here:
+        # timeouts are the single most-allocated event type (one per CPU
+        # quantum, poll interval and RPC), and the two calls they replace
+        # show up in every profile. Identical schedule: same seq
+        # numbering and same now-vs-future routing as _schedule().
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(sim.now + delay, self._fire)
+        self._exc = None
+        self.triggered = False
+        self.name = None
+        when = sim.now + delay
+        sim._seq += 1
+        if when == sim.now:
+            sim._ready.append((sim._seq, self._fire, None))
+        else:
+            heapq.heappush(sim._heap, (when, sim._seq, self._fire, None))
 
-    def _fire(self):
+    def _fire(self, _arg):
         self.triggered = True
-        self.sim._run_callbacks(self)
+        if self.callbacks:
+            self.sim._run_callbacks(self)
+
+    def __repr__(self):
+        state = "triggered" if self.triggered else "pending"
+        return "<Timeout %s>" % state
 
 
 class Interrupt(Exception):
@@ -133,6 +189,19 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+def _watch_abandoned(event):
+    """Callback planted on abandoned combinator losers.
+
+    A loser that *fails* after the race was decided would otherwise be
+    silently swallowed; route it to the crash record so bugs never pass
+    silently (the engine's stated contract). Module-level on purpose:
+    it holds no reference back to the combinator, so losers do not keep
+    the whole race alive (the callback-leak fix).
+    """
+    if event._exc is not None:
+        event.sim._record_crash(event, event._exc)
+
+
 class Process(Event):
     """A running coroutine; also an event that triggers when it finishes.
 
@@ -140,7 +209,7 @@ class Process(Event):
     the event value, so ``result = yield proc`` both joins and collects.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_resume_scheduled")
+    __slots__ = ("generator", "_waiting_on")
 
     def __init__(self, sim, generator, name=None):
         if not hasattr(generator, "send"):
@@ -151,8 +220,7 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "proc"))
         self.generator = generator
         self._waiting_on = None
-        self._resume_scheduled = False
-        sim._schedule_call(lambda: self._step(None, None))
+        sim._schedule_call(self._start, None)
 
     @property
     def is_alive(self):
@@ -174,14 +242,38 @@ class Process(Event):
             try:
                 waited.callbacks.remove(self._on_event)
             except ValueError:
-                pass
-        self.sim._schedule_call(lambda: self._step(None, Interrupt(cause)))
+                pass  # resumption already queued; _resume drops it as stale
+        self.sim._schedule_call(self._throw, Interrupt(cause))
+
+    # -- tuple-dispatched entry points ---------------------------------
+
+    def _start(self, _arg):
+        self._step(None, None)
+
+    def _throw(self, exc):
+        self._step(None, exc)
+
+    def _resume(self, event):
+        """Fast-path resumption on an event that had already triggered.
+
+        The ``_waiting_on`` identity check drops stale wakeups: an
+        interrupt that lands while this resumption sits in the now-queue
+        clears ``_waiting_on``, and the queued entry must then be a
+        no-op (the Interrupt entry behind it does the real resumption).
+        """
+        if self._waiting_on is not event:
+            return
+        self._waiting_on = None
+        if event._exc is None:
+            self._step(event._value, None)
+        else:
+            self._step(None, event._exc)
 
     def _on_event(self, event):
         if self._waiting_on is not event:
             return  # interrupted while waiting; stale wakeup
         self._waiting_on = None
-        if event.ok:
+        if event._exc is None:
             self._step(event._value, None)
         else:
             self._step(None, event._exc)
@@ -189,66 +281,109 @@ class Process(Event):
     def _step(self, value, exc):
         if self.triggered:
             return
-        try:
-            if exc is not None:
-                target = self.generator.throw(exc)
+        sim = self.sim
+        generator = self.generator
+        while True:
+            try:
+                if exc is not None:
+                    target = generator.throw(exc)
+                else:
+                    target = generator.send(value)
+            except StopIteration as stop:
+                self.triggered = True
+                self._value = stop.value
+                if self.callbacks:
+                    sim._schedule_event(self)
+                return
+            except Interrupt as intr:
+                # An uncaught interrupt terminates the process quietly.
+                self.triggered = True
+                self._value = intr.cause
+                if self.callbacks:
+                    sim._schedule_event(self)
+                return
+            except BaseException as err:  # noqa: BLE001 - propagate to joiners
+                self.triggered = True
+                self._exc = err
+                if self.callbacks:
+                    sim._schedule_event(self)
+                else:
+                    sim._record_crash(self, err)
+                return
+            if isinstance(target, Event) and target.sim is sim:
+                break
+            # A bad yield is thrown back into the generator through the
+            # same try/except: a generator that catches the error and
+            # yields a valid event next continues normally; one that does
+            # not is marked crashed/triggered like any other failure
+            # (previously both paths fell out of _step unhandled).
+            if isinstance(target, Event):
+                value, exc = None, SimulationError(
+                    "event from a different simulator yielded"
+                )
             else:
-                target = self.generator.send(value)
-        except StopIteration as stop:
-            self.triggered = True
-            self._value = stop.value
-            self.sim._schedule_event(self)
-            return
-        except Interrupt as intr:
-            # An uncaught interrupt terminates the process quietly.
-            self.triggered = True
-            self._value = intr.cause
-            self.sim._schedule_event(self)
-            return
-        except BaseException as err:  # noqa: BLE001 - propagate to joiners
-            self.triggered = True
-            self._exc = err
-            if not self.callbacks:
-                self.sim._record_crash(self, err)
-            self.sim._schedule_event(self)
-            return
-        if not isinstance(target, Event):
-            self.generator.throw(
-                SimulationError("process yielded non-event %r" % (target,))
-            )
-            return
-        if target.sim is not self.sim:
-            self.generator.throw(
-                SimulationError("event from a different simulator yielded")
-            )
-            return
+                value, exc = None, SimulationError(
+                    "process yielded non-event %r" % (target,)
+                )
         self._waiting_on = target
-        target.subscribe(self._on_event)
+        if target.triggered:
+            # Fast path: skip subscribe() — queue the resumption directly.
+            sim._schedule_call(self._resume, target)
+        else:
+            target.callbacks.append(self._on_event)
 
 
 class AnyOf(Event):
     """Triggers when any child event triggers; value is (index, value)."""
 
-    __slots__ = ("_children",)
+    __slots__ = ("_children", "_cbs")
 
     def __init__(self, sim, events):
         super().__init__(sim, name="AnyOf")
         self._children = list(events)
         if not self._children:
             raise SimulationError("AnyOf needs at least one event")
+        self._cbs = []
         for index, event in enumerate(self._children):
-            event.subscribe(self._make_cb(index))
+            cb = self._make_cb(index)
+            self._cbs.append(cb)
+            event.subscribe(cb)
 
     def _make_cb(self, index):
         def cb(event):
             if self.triggered:
                 return
-            if event.ok:
-                self.succeed((index, event._value))
-            else:
-                self.fail(event._exc)
+            self._settle(index, event)
 
         return cb
+
+    def _settle(self, index, event):
+        if event._exc is None:
+            self.succeed((index, event._value))
+        else:
+            self.fail(event._exc)
+        self._abandon_losers()
+
+    def _abandon_losers(self):
+        """Unsubscribe still-pending children once the race is decided.
+
+        Losers used to keep their result callbacks forever — a reference
+        leak over long chaos runs, and a loser failing *after* the
+        winner was silently swallowed. Pending plain events get the
+        module-level :func:`_watch_abandoned` watcher so a late failure
+        is routed to ``sim._record_crash``; pending processes need no
+        watcher — a process failing with no callbacks records the crash
+        itself.
+        """
+        for child, cb in zip(self._children, self._cbs):
+            if not child.triggered:
+                try:
+                    child.callbacks.remove(cb)
+                except ValueError:
+                    pass
+                if not isinstance(child, Process):
+                    child.callbacks.append(_watch_abandoned)
+        self._cbs = ()
 
 
 class AllOf(Event):
@@ -270,8 +405,18 @@ class AllOf(Event):
     def _on_child(self, event):
         if self.triggered:
             return
-        if not event.ok:
+        if event._exc is not None:
             self.fail(event._exc)
+            # Same leak/swallow fix as AnyOf: drop our callback from the
+            # still-pending children, watch plain events for late failures.
+            for child in self._children:
+                if not child.triggered:
+                    try:
+                        child.callbacks.remove(self._on_child)
+                    except ValueError:
+                        pass
+                    if not isinstance(child, Process):
+                        child.callbacks.append(_watch_abandoned)
             return
         self._pending -= 1
         if self._pending == 0:
@@ -279,11 +424,15 @@ class AllOf(Event):
 
 
 class Simulator(object):
-    """The event loop: a clock plus a priority queue of pending callbacks."""
+    """The event loop: a clock, a now-queue and a heap of pending callbacks.
+
+    See the module docstring for the two-tier scheduler design.
+    """
 
     def __init__(self):
         self.now = 0.0
-        self._heap = []
+        self._heap = []  # (when, seq, fn, arg) — future callbacks
+        self._ready = deque()  # (seq, fn, arg) — callbacks due *now*
         self._seq = 0
         self.crashed = []  # (process, exception) for unobserved failures
         self.tracer = None  # event sink (repro.obs.Observer or legacy Tracer)
@@ -291,7 +440,12 @@ class Simulator(object):
         self._locks = []  # (scope, lock_class, instance, Mutex) registry
 
     def trace(self, category, name, **detail):
-        """Emit a trace event when a tracer is attached (else a no-op)."""
+        """Emit a trace event when a tracer is attached (else a no-op).
+
+        Hot paths should guard the call site with a single attribute
+        check (``if sim.tracer is not None:``) so the kwargs dict is
+        never built when tracing is off.
+        """
         if self.tracer is not None:
             self.tracer.emit(self.now, category, name, **detail)
 
@@ -310,17 +464,31 @@ class Simulator(object):
 
     # -- scheduling internals ------------------------------------------
 
-    def _schedule(self, when, fn):
+    def _schedule(self, when, fn, arg=None):
+        """Queue ``fn(arg)`` at time ``when`` (tuple-dispatched entry)."""
         if when < self.now:
             raise SimulationError("cannot schedule in the past")
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn))
+        if when == self.now:
+            self._ready.append((self._seq, fn, arg))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, fn, arg))
 
-    def _schedule_call(self, fn):
-        self._schedule(self.now, fn)
+    def _schedule_call(self, fn, arg=None):
+        """Queue ``fn(arg)`` at the current time (now-queue, FIFO)."""
+        self._seq += 1
+        self._ready.append((self._seq, fn, arg))
 
     def _schedule_event(self, event):
-        self._schedule(self.now, lambda: self._run_callbacks(event))
+        """Queue the callback batch of a just-triggered event.
+
+        Callers check ``event.callbacks`` first: an event triggering
+        with no subscribers yet schedules nothing (post-trigger
+        subscribers queue their own resumption), which keeps uncontended
+        lock acquires to a single scheduler entry.
+        """
+        self._seq += 1
+        self._ready.append((self._seq, self._run_callbacks, event))
 
     def _run_callbacks(self, event):
         callbacks, event.callbacks = event.callbacks, []
@@ -329,6 +497,13 @@ class Simulator(object):
 
     def _record_crash(self, process, exc):
         self.crashed.append((process, exc))
+        raise _CrashHalt()
+
+    def _raise_crash(self):
+        process, exc = self.crashed[0]
+        raise SimulationError(
+            "process %r crashed: %r" % (process.name, exc)
+        ) from exc
 
     # -- public API ------------------------------------------------------
 
@@ -356,24 +531,43 @@ class Simulator(object):
         """Run events until the queue is empty or the clock passes ``until``.
 
         Returns the final simulation time. Unobserved process crashes are
-        re-raised here so that bugs never pass silently.
+        re-raised here so that bugs never pass silently. The crash check
+        lives outside the per-event loop body: :meth:`_record_crash`
+        unwinds the loop directly via an internal control exception.
         """
-        while self._heap:
-            when, _seq, fn = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(self._heap)
-            self.now = when
-            fn()
-            if self.crashed:
-                process, exc = self.crashed[0]
-                raise SimulationError(
-                    "process %r crashed: %r" % (process.name, exc)
-                ) from exc
-        else:
-            if until is not None and until > self.now:
-                self.now = until
+        if self.crashed:
+            self._raise_crash()
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        try:
+            while True:
+                if ready:
+                    if heap:
+                        head = heap[0]
+                        # A heap entry at the current time with a lower
+                        # sequence number was scheduled first: run it
+                        # first, exactly as the one-heap scheduler did.
+                        if head[0] <= self.now and head[1] < ready[0][0]:
+                            heappop(heap)
+                            head[2](head[3])
+                            continue
+                    entry = ready.popleft()
+                    entry[1](entry[2])
+                elif heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return self.now
+                    head = heappop(heap)
+                    self.now = when
+                    head[2](head[3])
+                else:
+                    break
+        except _CrashHalt:
+            self._raise_crash()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def run_until(self, event, deadline):
@@ -381,21 +575,43 @@ class Simulator(object):
 
         Unlike :meth:`run`, this stops as soon as the event fires — vital
         when daemon loops (flushers, service threads) keep the heap
-        non-empty forever. Returns True when the event triggered.
+        non-empty forever. Returns True when the event triggered. On
+        timeout the clock is advanced to ``deadline`` (matching
+        ``run(until=...)``), so callers never observe a stale clock and
+        compute negative remaining time on retry/backoff paths.
         """
-        while self._heap and not event.triggered:
-            when, _seq, fn = self._heap[0]
-            if when > deadline:
-                break
-            heapq.heappop(self._heap)
-            self.now = when
-            fn()
-            if self.crashed:
-                process, exc = self.crashed[0]
-                raise SimulationError(
-                    "process %r crashed: %r" % (process.name, exc)
-                ) from exc
-        return event.triggered
+        if self.crashed:
+            self._raise_crash()
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        try:
+            while not event.triggered:
+                if ready:
+                    if heap:
+                        head = heap[0]
+                        if head[0] <= self.now and head[1] < ready[0][0]:
+                            heappop(heap)
+                            head[2](head[3])
+                            continue
+                    entry = ready.popleft()
+                    entry[1](entry[2])
+                elif heap:
+                    when = heap[0][0]
+                    if when > deadline:
+                        break
+                    head = heappop(heap)
+                    self.now = when
+                    head[2](head[3])
+                else:
+                    break
+        except _CrashHalt:
+            self._raise_crash()
+        if event.triggered:
+            return True
+        if deadline > self.now:
+            self.now = deadline
+        return False
 
     def run_process(self, generator, name=None, until=None):
         """Convenience: spawn ``generator``, run until it finishes, return value."""

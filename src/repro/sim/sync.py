@@ -11,6 +11,7 @@ These mirror the kernel/user-level primitives the paper profiles:
 from collections import deque
 
 from repro.common.errors import SimulationError
+from repro.sim.engine import Event
 
 __all__ = ["LockStats", "Mutex", "Semaphore", "Store"]
 
@@ -84,7 +85,8 @@ class Mutex(object):
             lock.release()
     """
 
-    __slots__ = ("sim", "name", "stats", "_owner", "_granted_at", "_waiters")
+    __slots__ = ("sim", "name", "stats", "_owner", "_granted_at", "_waiters",
+                 "_acq_name")
 
     def __init__(self, sim, name="lock"):
         self.sim = sim
@@ -93,6 +95,7 @@ class Mutex(object):
         self._owner = None
         self._granted_at = 0.0
         self._waiters = deque()
+        self._acq_name = "acquire:%s" % name  # formatted once, not per call
 
     @property
     def locked(self):
@@ -105,7 +108,7 @@ class Mutex(object):
 
     def acquire(self, who=None):
         """Return an event that triggers once the lock is held."""
-        event = self.sim.event(name="acquire:%s" % self.name)
+        event = Event(self.sim, name=self._acq_name)
         if self._owner is None:
             self._grant(event, who, requested_at=self.sim.now)
             event.succeed()
@@ -134,7 +137,8 @@ class Mutex(object):
 class Semaphore(object):
     """A counting semaphore with FIFO wakeups."""
 
-    __slots__ = ("sim", "name", "capacity", "_available", "_waiters")
+    __slots__ = ("sim", "name", "capacity", "_available", "_waiters",
+                 "_acq_name")
 
     def __init__(self, sim, capacity, name="sem"):
         if capacity < 0:
@@ -144,6 +148,7 @@ class Semaphore(object):
         self.capacity = capacity
         self._available = capacity
         self._waiters = deque()
+        self._acq_name = "sem:%s" % name
 
     @property
     def available(self):
@@ -155,7 +160,7 @@ class Semaphore(object):
 
     def acquire(self):
         """Return an event that triggers once a unit is held."""
-        event = self.sim.event(name="sem:%s" % self.name)
+        event = Event(self.sim, name=self._acq_name)
         if self._available > 0:
             self._available -= 1
             event.succeed()
@@ -183,7 +188,8 @@ class Store(object):
     with the oldest item.
     """
 
-    __slots__ = ("sim", "name", "capacity", "_items", "_getters", "_putters")
+    __slots__ = ("sim", "name", "capacity", "_items", "_getters", "_putters",
+                 "_put_name", "_get_name")
 
     def __init__(self, sim, capacity=None, name="store"):
         self.sim = sim
@@ -192,6 +198,8 @@ class Store(object):
         self._items = deque()
         self._getters = deque()
         self._putters = deque()  # (event, item)
+        self._put_name = "put:%s" % name
+        self._get_name = "get:%s" % name
 
     def __len__(self):
         return len(self._items)
@@ -202,7 +210,7 @@ class Store(object):
 
     def put(self, item):
         """Offer ``item``; the returned event triggers once it is enqueued."""
-        event = self.sim.event(name="put:%s" % self.name)
+        event = Event(self.sim, name=self._put_name)
         if self._getters:
             self._getters.popleft().succeed(item)
             event.succeed()
@@ -215,7 +223,7 @@ class Store(object):
 
     def get(self):
         """Take the oldest item; the returned event triggers with it."""
-        event = self.sim.event(name="get:%s" % self.name)
+        event = Event(self.sim, name=self._get_name)
         if self._items:
             item = self._items.popleft()
             if self._putters:

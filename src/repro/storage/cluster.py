@@ -53,6 +53,12 @@ class CephCluster(object):
         #: RPC attempts currently in flight through the retry machinery;
         #: chaos runs assert this drains to zero at convergence.
         self.inflight_attempts = 0
+        #: peek() assembly memo: (ino, offset, size) -> (witness, bytes).
+        #: The witness records which OSD backed each extent and its
+        #: store_epoch at assembly time; any byte mutation anywhere on a
+        #: backing OSD (including silent fault injection) changes the
+        #: epoch and invalidates the entry. See peek().
+        self._peek_memo = {}
 
     @property
     def degraded(self):
@@ -444,9 +450,17 @@ class CephCluster(object):
         """Write ``data`` at ``offset`` of file ``ino`` to all replicas."""
         resilient = self.resilient
         position = 0
+        # Slice every piece up front through one memoryview (single copy
+        # each) and release it before the first yield, so a caller-owned
+        # bytearray is never buffer-locked across a suspension.
+        view = memoryview(data)
+        sliced = []
         for index, obj_off, length in self.object_extents(offset, len(data)):
-            piece = bytes(data[position:position + length])
+            sliced.append((index, obj_off, bytes(view[position:position + length])))
             position += length
+        view.release()
+        for index, obj_off, piece in sliced:
+            length = len(piece)
             if resilient:
                 yield from self._resilient_write(ino, index, obj_off, piece)
             else:
@@ -531,15 +545,42 @@ class CephCluster(object):
         nothing, so cache hits read the authoritative object store
         directly. Holes and unwritten tails read as zeros.
         """
+        extents = self.object_extents(offset, size)
+        sources = [
+            self._peek_source(ino, index, obj_off, length)
+            for index, obj_off, length in extents
+        ]
+        # Cache-hit reads re-assemble the same unchanged ranges thousands
+        # of times per run; memoise the immutable result, validated by a
+        # witness of (osd, store_epoch) per extent. The source choice is
+        # recomputed on every call, so replica failover and digest-driven
+        # source changes refresh the entry even with no byte mutation.
+        witness = tuple(
+            (osd.osd_id, osd.store_epoch) if osd is not None else (-1, -1)
+            for osd in sources
+        )
+        key = (ino, offset, size)
+        cached = self._peek_memo.get(key)
+        if cached is not None and cached[0] == witness:
+            return cached[1]
         parts = []
-        for index, obj_off, length in self.object_extents(offset, size):
-            osd = self._peek_source(ino, index, obj_off, length)
+        for (index, obj_off, length), osd in zip(extents, sources):
             obj = osd._objects.get((ino, index)) if osd is not None else None
-            piece = bytes(obj[obj_off:obj_off + length]) if obj is not None else b""
+            if obj is None:
+                parts.append(b"\x00" * length)
+                continue
+            # Slice through a memoryview: one copy instead of three
+            # (bytearray slice -> bytes -> padded concat) on the cache-hit
+            # read path.
+            piece = bytes(memoryview(obj)[obj_off:obj_off + length])
             if len(piece) < length:
                 piece += b"\x00" * (length - len(piece))
             parts.append(piece)
-        return b"".join(parts)
+        data = parts[0] if len(parts) == 1 else b"".join(parts)
+        if len(self._peek_memo) >= 256:
+            self._peek_memo.clear()
+        self._peek_memo[key] = (witness, data)
+        return data
 
     def _peek_source(self, ino, index, obj_off, length):
         """The OSD whose store backs a zero-cost peek of one extent.

@@ -57,6 +57,13 @@ class Osd(object):
         self._slots = Semaphore(sim, costs.osd_concurrency, name="osd%d" % osd_id)
         self._objects = {}  # (ino, index) -> bytearray
         self._by_ino = {}  # ino -> set of indices
+        #: bumped on *every* stored-byte mutation, including the silent
+        #: fault injections that deliberately leave ``_versions`` stale.
+        #: Engine-level cache-invalidation hook (peek memoisation) only —
+        #: never consulted by the modelled metadata paths, so injected
+        #: corruption stays invisible to verification until digests catch
+        #: it, exactly as before.
+        self.store_epoch = 0
         self.crashed = False
         #: record/check per-chunk digests; armed by enable_integrity()
         self.verify_enabled = False
@@ -94,6 +101,7 @@ class Osd(object):
         flips = min(flips, len(obj))
         for _ in range(flips):
             obj[rng.randrange(len(obj))] ^= 1 << rng.randrange(8)
+        self.store_epoch += 1
         self.metrics.counter("bitrot_injected").add(1)
         self.sim.trace("osd", "bitrot", osd=self.osd_id, ino=ino,
                        index=index, flips=flips)
@@ -112,6 +120,7 @@ class Osd(object):
         keep = max(1, min(int(len(obj) * keep_fraction), len(obj) - 1))
         lost = len(obj) - keep
         del obj[keep:]
+        self.store_epoch += 1
         self.metrics.counter("torn_injected").add(1)
         self.sim.trace("osd", "torn_write", osd=self.osd_id, ino=ino,
                        index=index, lost=lost)
@@ -198,6 +207,7 @@ class Osd(object):
                     and self._digest(bytes(obj[lo:hi])) != want:
                 dig[chunk] = _POISON
         del obj[size:]
+        self.store_epoch += 1
         self._bump_version(key)
         if dig is not None:
             keep = (size + csize - 1) // csize
@@ -259,7 +269,10 @@ class Osd(object):
         try:
             yield self.sim.timeout(self.costs.osd_op)
             obj = self._objects.get((ino, index))
-            data = bytes(obj[offset:offset + size]) if obj is not None else b""
+            data = (
+                bytes(memoryview(obj)[offset:offset + size])
+                if obj is not None else b""
+            )
             if data:
                 yield from self.device.transfer(len(data))
         finally:
@@ -298,6 +311,7 @@ class Osd(object):
             if offset > old_len:
                 obj.extend(b"\x00" * (offset - old_len))
             obj[offset:end] = data
+            self.store_epoch += 1
             self._bump_version(key)
             if self.verify_enabled:
                 self._record_digests(key, obj, touch_start, end)
@@ -389,6 +403,7 @@ class Osd(object):
             indices = self._by_ino.get(ino)
             if indices is not None:
                 indices.discard(index)
+            self.store_epoch += 1
         self._digests.pop((ino, index), None)
         self._versions.pop((ino, index), None)
 
@@ -400,6 +415,7 @@ class Osd(object):
             self._objects.pop((ino, index), None)
             self._digests.pop((ino, index), None)
             self._versions.pop((ino, index), None)
+            self.store_epoch += 1
 
     def object_size(self, ino, index):
         obj = self._objects.get((ino, index))

@@ -319,11 +319,34 @@ def test_event_fail_through_all_of(sim):
     assert proc.value == ("caught", 2)
 
 
-def test_late_failure_of_any_of_loser_is_harmless(sim):
-    """After AnyOf fires, a losing input may still fail without crashing.
+def test_late_success_of_any_of_loser_is_harmless(sim):
+    """After AnyOf fires, a losing input may still *succeed* silently.
 
     The retry machinery races an attempt against a timer and abandons the
-    loser; an abandoned event failing later must not take down the run.
+    loser; an abandoned event completing later must not take down the run.
+    """
+    gate = sim.event()
+
+    def waiter():
+        index, _value = yield sim.any_of([sim.timeout(1), gate])
+        return index
+
+    def late_winner():
+        yield sim.timeout(2)
+        gate.succeed("too late")
+
+    proc = sim.spawn(waiter())
+    sim.spawn(late_winner())
+    sim.run()
+    assert proc.value == 0
+
+
+def test_late_failure_of_any_of_loser_surfaces(sim):
+    """A loser that *fails* after the race was decided is a real error.
+
+    Failures used to be silently swallowed by the abandoned callback;
+    the engine's contract is that bugs never pass silently, so the late
+    failure is routed to the crash record and re-raised by run().
     """
     gate = sim.event()
 
@@ -337,8 +360,9 @@ def test_late_failure_of_any_of_loser_is_harmless(sim):
 
     proc = sim.spawn(waiter())
     sim.spawn(late_failer())
-    sim.run()
-    assert proc.value == 0
+    with pytest.raises(SimulationError, match="too late"):
+        sim.run()
+    assert proc.value == 0  # the race itself was decided before the crash
 
 
 def test_interrupt_during_timeout_runs_finally_blocks(sim):

@@ -1,0 +1,261 @@
+"""Scheduler determinism and regression tests for the fast-path engine.
+
+The engine's hot path was reworked from a single heap of lambda
+closures into a two-tier scheduler (FIFO now-queue + time heap with
+tuple-dispatched entries). The acceptance bar for that rework is
+*byte-identical scheduling*: the golden fingerprints pinned here were
+captured from the original pre-optimization engine, so any reordering
+of same-timestamp callbacks — however subtle — fails these tests.
+
+The remaining tests pin the three scheduling bugfixes that rode along:
+
+* ``Process._step`` used to discard the generator's response to a
+  bad-yield ``throw()`` (a generator that caught the error hung; one
+  that returned leaked ``StopIteration``);
+* ``Simulator.run_until`` left ``self.now`` stale when the deadline
+  passed between queued events;
+* ``AnyOf``/``AllOf`` losers kept their result callbacks forever (a
+  leak) and a loser *failing* after the race was silently swallowed.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Interrupt, Simulator
+from repro.sim.bench import schedule_fingerprint
+
+#: (scenario, kwargs) -> (fingerprint, final_time) captured from the
+#: seed engine before the two-tier scheduler landed. Do not update these
+#: without re-deriving them from a known-good scheduler: equality proves
+#: the fast path preserves the exact event schedule.
+GOLDEN = {
+    ("torture", 1): ("fb445083c241dfb603621d18bc024eba", 0.2690000000000002),
+    ("interrupts", 2): ("98e1684463c523e3868384f7ac5a3809", 1000.0),
+    ("combinators", 3): ("597bda445e3396d340187178737290d8", 0.0015),
+}
+
+
+@pytest.mark.parametrize("scenario,seed", sorted(GOLDEN))
+def test_golden_schedule_fingerprints(scenario, seed):
+    digest, final = schedule_fingerprint(scenario, seed=seed)
+    want_digest, want_final = GOLDEN[(scenario, seed)]
+    assert digest == want_digest, (
+        "schedule of %r diverged from the pre-optimization engine" % scenario
+    )
+    assert final == want_final
+
+
+def test_fingerprint_is_deterministic():
+    assert schedule_fingerprint("torture", seed=9) == \
+        schedule_fingerprint("torture", seed=9)
+
+
+# -- two-tier scheduler ordering -----------------------------------------
+
+
+def test_same_time_heap_entry_runs_before_later_now_entries(sim):
+    """Cross-tier ordering: (when, seq) order wins, not queue residency.
+
+    At t=1 the first process resumes and immediately waits on an
+    already-triggered event, queueing its resumption in the now-queue.
+    The second process's timeout — also due at t=1 but scheduled
+    *earlier* (lower seq) — still sits in the heap and must run first,
+    exactly as the one-heap scheduler ordered it.
+    """
+    order = []
+    gate = sim.event()
+    gate.succeed("x")
+
+    def a():
+        yield sim.timeout(1)
+        order.append("t1")
+        value = yield gate  # already triggered: resumption via now-queue
+        order.append(("a", value))
+
+    def b():
+        yield sim.timeout(1)
+        order.append("t2")
+
+    sim.spawn(a())
+    sim.spawn(b())
+    sim.run()
+    assert order == ["t1", "t2", ("a", "x")]
+
+
+def test_now_queue_is_fifo_for_triggered_subscriptions(sim):
+    order = []
+    gate = sim.event()
+    gate.succeed(7)
+
+    def waiter(tag):
+        value = yield gate
+        order.append((tag, value, sim.now))
+
+    for tag in range(4):
+        sim.spawn(waiter(tag))
+    sim.run()
+    assert order == [(0, 7, 0.0), (1, 7, 0.0), (2, 7, 0.0), (3, 7, 0.0)]
+
+
+def test_interrupt_races_queued_resumption(sim):
+    """An interrupt landing while a resumption is queued must win.
+
+    The sleeper waits on an already-triggered event, so its resumption
+    sits in the now-queue when the interrupt arrives in the same
+    timestep. The stale resumption must be dropped — delivering both
+    would resume the generator twice.
+    """
+    log = []
+    gate = sim.event()
+    gate.succeed("v")
+
+    def sleeper():
+        yield sim.timeout(1)
+        try:
+            value = yield gate
+            log.append(("woke", value))
+        except Interrupt as intr:
+            log.append(("intr", intr.cause))
+        return "done"
+
+    def interrupter(target):
+        yield sim.timeout(1)
+        target.interrupt(cause="now")
+
+    target = sim.spawn(sleeper())
+    sim.spawn(interrupter(target))
+    sim.run()
+    assert log == [("intr", "now")]
+    assert target.value == "done"
+
+
+# -- bugfix: _step discarding the generator's throw() response -----------
+
+
+def test_bad_yield_error_is_catchable_and_process_continues(sim):
+    """A process may catch the bad-yield error and keep running.
+
+    Before the fix the generator's response to ``throw()`` was
+    discarded, so a process that caught the error and yielded a valid
+    event next was never rescheduled — it hung forever.
+    """
+    log = []
+
+    def proc():
+        try:
+            yield 42
+        except SimulationError:
+            log.append("caught")
+        yield sim.timeout(1)
+        return "ok"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert log == ["caught"]
+    assert process.value == "ok"
+
+
+def test_bad_yield_error_caught_then_return(sim):
+    """Catching the bad-yield error and returning must not leak
+    StopIteration out of the engine."""
+
+    def proc():
+        try:
+            yield "not an event"
+        except SimulationError:
+            return "caught"
+
+    def parent():
+        value = yield sim.spawn(proc())
+        return value
+
+    assert sim.run_process(parent()) == "caught"
+
+
+def test_foreign_event_yield_is_catchable(sim):
+    other = Simulator()
+
+    def proc():
+        try:
+            yield other.timeout(1)
+        except SimulationError:
+            return "rejected"
+
+    def parent():
+        value = yield sim.spawn(proc())
+        return value
+
+    assert sim.run_process(parent()) == "rejected"
+
+
+# -- bugfix: run_until leaving the clock stale on timeout ----------------
+
+
+def test_run_until_timeout_advances_clock_to_deadline(sim):
+    gate = sim.event()
+
+    def daemon():
+        while True:
+            yield sim.timeout(0.3)
+
+    sim.spawn(daemon())
+    # Ticks land at 0.3/0.6/0.9; the next would be 1.2 > deadline. The
+    # old engine returned with now=0.9, so retry/backoff callers
+    # computed negative remaining time.
+    assert sim.run_until(gate, deadline=1.0) is False
+    assert sim.now == 1.0
+
+
+def test_run_until_empty_queue_advances_clock(sim):
+    gate = sim.event()
+    assert sim.run_until(gate, deadline=5.0) is False
+    assert sim.now == 5.0
+
+
+def test_run_until_event_fires_before_deadline(sim):
+    gate = sim.event()
+
+    def opener():
+        yield sim.timeout(2)
+        gate.succeed()
+
+    sim.spawn(opener())
+    assert sim.run_until(gate, deadline=10.0) is True
+    assert sim.now == 2.0
+
+
+# -- bugfix: combinator loser callback leak ------------------------------
+
+
+def test_any_of_unsubscribes_losers(sim):
+    gate = sim.event()
+
+    def waiter():
+        yield sim.any_of([sim.timeout(1), gate])
+
+    sim.spawn(waiter())
+    sim.run()
+    # The loser keeps only the module-level failure watcher — no
+    # combinator-held callback that would keep the whole race alive.
+    assert [cb.__name__ for cb in gate.callbacks] == ["_watch_abandoned"]
+
+
+def test_all_of_unsubscribes_pending_children_on_failure(sim):
+    gate = sim.event()
+    never = sim.event()
+
+    def waiter():
+        try:
+            yield sim.all_of([gate, never])
+        except ValueError:
+            return "failed"
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert proc.value == "failed"
+    assert [cb.__name__ for cb in never.callbacks] == ["_watch_abandoned"]
