@@ -34,7 +34,10 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
 from repro.faults import run_chaos  # noqa: E402
 from repro.bench.scaleup import run_file_scaleup, run_pool_scaleup  # noqa: E402
 from repro.bench.sequential import run_sequential  # noqa: E402
-from repro.sim.bench import schedule_fingerprint  # noqa: E402
+from repro.sim.bench import (  # noqa: E402
+    schedule_fingerprint,
+    stripe_fanout_reference,
+)
 
 
 def _stable_hash(value):
@@ -106,6 +109,20 @@ def scenario_chaos():
     }
 
 
+def scenario_stripe_fanout():
+    """Parallel striped data path: 6-object read, serial vs fan-out."""
+    serial = stripe_fanout_reference(inflight=1)
+    fanout = stripe_fanout_reference(inflight=16)
+    repeat = stripe_fanout_reference(inflight=16)
+    row = {
+        "serial": serial,
+        "fanout": fanout,
+        "speedup": serial["read_s"] / fanout["read_s"],
+        "deterministic": fanout == repeat,
+    }
+    return _stable_hash(row), row
+
+
 def scenario_scaleup():
     """The reference scale-up sweep (Fig. 11 Fileappend, 8 clones)."""
     rows = [
@@ -128,6 +145,7 @@ def scenario_scaleup_wide():
 SCENARIOS = [
     ("micro", scenario_micro),
     ("seqread", scenario_seqread),
+    ("stripe_fanout", scenario_stripe_fanout),
     ("chaos", scenario_chaos),
     ("scaleup", scenario_scaleup),
     ("scaleup_wide", scenario_scaleup_wide),

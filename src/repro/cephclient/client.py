@@ -28,6 +28,7 @@ from repro.common.errors import (
 )
 from repro.fs import pathutil
 from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags
+from repro.fs.readahead import Prefetcher, next_window, plan_fetch
 from repro.metrics import MetricSet
 from repro.sim.cpu import SimThread
 from repro.sim.sync import Mutex
@@ -96,6 +97,8 @@ class CephLibClient(Filesystem):
         #: but the data/size is still ours until the MDS acknowledges).
         self._size_flushing = {}
         self._seq_end = {}  # ino -> end offset of last read (readahead)
+        #: pipelined readahead: one detached next-window prefetch per ino
+        self._prefetcher = Prefetcher(sim)
         self._flush_waiters = []
         self.metrics = MetricSet(name)
         # The ObjectCacher writes back *asynchronously*: many OSD writes in
@@ -237,6 +240,7 @@ class CephLibClient(Filesystem):
             if path is not None:
                 self.attr_cache.pop(path, None)
             self._seq_end.pop(ino, None)
+            self._prefetcher.forget(ino)
         held = self._held_caps.get(ino)
         if held is not None:
             held &= ~caps
@@ -306,11 +310,23 @@ class CephLibClient(Filesystem):
         finally:
             lock.release()
         sequential = offset == self._seq_end.get(ino, 0)
+        if sequential and miss_ranges and self._prefetcher.active(ino):
+            # The previous read's pipelined prefetch covers (part of) this
+            # window and is still travelling: adopt it instead of issuing
+            # a duplicate fetch, then rescan for whatever remains missing.
+            yield from self._prefetcher.join(ino)
+            yield lock.acquire(who=task)
+            try:
+                rescanned, miss_ranges = self.cache.scan(ino, offset, size)
+                if rescanned > hit_blocks:
+                    yield from task.cpu(
+                        self.costs.page_op * (rescanned - hit_blocks)
+                    )
+            finally:
+                lock.release()
         for miss_offset, miss_size in miss_ranges:
-            fetch = miss_size
-            if self.readahead_bytes and sequential:
-                fetch = max(miss_size, self.readahead_bytes)
-            fetch = min(fetch, max(file_size - miss_offset, miss_size))
+            fetch = plan_fetch(miss_offset, miss_size, file_size,
+                               self.readahead_bytes, sequential)
             # Network fetch happens outside the client lock (the lock is
             # dropped while waiting on the OSDs, as in libcephfs).
             yield from self.cluster.read_extent(ino, miss_offset, fetch)
@@ -332,8 +348,46 @@ class CephLibClient(Filesystem):
         finally:
             lock.release()
         self._seq_end[ino] = offset + len(data)
+        if sequential:
+            # Pipelined readahead: fetch the next window with a detached
+            # child while the caller copies the current one out. The
+            # prefetch pays the full network/OSD cost; its payload work
+            # happens on the async messenger path (plain delay, no core).
+            window = next_window(
+                offset + len(data), self.readahead_bytes, file_size
+            )
+            if window is not None:
+                self._prefetcher.launch(
+                    ino, self._prefetch(ino, window[0], window[1]),
+                    name="%s.readahead" % self.name,
+                )
         self.metrics.counter("bytes_read").add(len(data))
         return data
+
+    def _prefetch(self, ino, offset, size):
+        """Detached next-window prefetch (see :class:`Prefetcher`)."""
+        lock = self._lock(ino)
+        yield lock.acquire(who=None)
+        try:
+            if ino not in self._sizes:
+                return  # unlinked while queued
+            _hits, missing = self.cache.scan(ino, offset, size)
+        finally:
+            lock.release()
+        for miss_offset, miss_size in missing:
+            miss_size = min(
+                miss_size, max(self._local_size(ino) - miss_offset, 0)
+            )
+            if miss_size <= 0:
+                continue
+            yield from self.cluster.read_extent(ino, miss_offset, miss_size)
+            yield self.sim.timeout(self.costs.payload_cost(miss_size))
+            yield lock.acquire(who=None)
+            try:
+                if ino in self._sizes:
+                    self.cache.insert(ino, miss_offset, miss_size)
+            finally:
+                lock.release()
 
     def cluster_peek(self, ino, offset, size):
         """Resident-byte assembly; see :meth:`CephCluster.peek`."""
@@ -429,6 +483,7 @@ class CephLibClient(Filesystem):
         ino, _size = yield from self.cluster.mds_call("unlink", path)
         self.cluster.purge(ino)
         self.cache.drop_ino(ino)
+        self._prefetcher.forget(ino)
         self.attr_cache[path] = _NEGATIVE
         self._sizes.pop(ino, None)
         self._paths.pop(ino, None)
@@ -527,18 +582,24 @@ class CephLibClient(Filesystem):
             # revalidating open cannot adopt a stale MDS length.
             self._size_pin(ino)
             try:
-                flushed = 0
-                for position, (offset, data) in enumerate(extents):
-                    try:
-                        yield from task.cpu(self.costs.payload_cost(len(data)))
-                        yield from self.cluster.write_extent(ino, offset, data)
-                    except (FsError, ThreadKilled):
-                        for r_offset, r_data in extents[position:]:
-                            self.cache.write(ino, r_offset, r_data)
-                        self._dirty_since.setdefault(ino, self.sim.now)
-                        self.metrics.counter("flush_failures").add(1)
-                        raise
-                    flushed += len(data)
+                try:
+                    nbytes = sum(len(data) for _off, data in extents)
+                    yield from task.cpu(self.costs.payload_cost(nbytes))
+                    # One vectored fan-out carries the whole batch:
+                    # contiguous runs coalesce per target OSD instead of
+                    # paying one RPC per dirty block.
+                    flushed = yield from self.cluster.write_vector(
+                        ino, extents
+                    )
+                except (FsError, ThreadKilled):
+                    # Re-dirty the whole batch: with fan-out any subset
+                    # may have landed, and rewriting a landed extent is
+                    # idempotent (same bytes, same offset).
+                    for r_offset, r_data in extents:
+                        self.cache.write(ino, r_offset, r_data)
+                    self._dirty_since.setdefault(ino, self.sim.now)
+                    self.metrics.counter("flush_failures").add(1)
+                    raise
                 path = self._paths.get(ino)
                 if path is not None:
                     try:

@@ -22,6 +22,7 @@ from repro.common.errors import (
 )
 from repro.fs import pathutil
 from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags
+from repro.fs.readahead import Prefetcher, next_window, plan_fetch
 from repro.metrics import MetricSet
 
 __all__ = ["CephKernelFs"]
@@ -58,6 +59,8 @@ class CephKernelFs(Filesystem):
         self._sizes = {}  # ino -> local size view
         self._paths = {}  # ino -> path for size flush
         self._pending = {}  # ino -> ExtentBuffer of unflushed bytes
+        #: pipelined readahead: one detached next-window prefetch per ino
+        self._prefetcher = Prefetcher(self.sim)
         self.metrics = MetricSet(name)
 
     # -- helpers ----------------------------------------------------------
@@ -76,12 +79,15 @@ class CephKernelFs(Filesystem):
         buffer = self._pending.get(ino)
         if buffer is None or not buffer:
             return
-        for offset, data in buffer.take(nbytes):
-            # Messenger send processing happens in host-wide kworkers.
+        extents = buffer.take(nbytes)
+        if extents:
+            total = sum(len(data) for _off, data in extents)
+            # Messenger send processing happens in host-wide kworkers;
+            # one scatter-gather pass covers the whole coalesced batch.
             yield from self.kernel.workqueue.execute(
-                len(data) / self.costs.kernel_wq_bandwidth
+                total / self.costs.kernel_wq_bandwidth
             )
-            yield from self.cluster.write_extent(ino, offset, data)
+            yield from self.cluster.write_vector(ino, extents)
         path = self._paths.get(ino)
         if path is not None:
             from repro.common.errors import FileNotFound
@@ -185,11 +191,20 @@ class CephKernelFs(Filesystem):
             yield from task.cpu(self.costs.page_op * hit_pages)
         account = self._account(task)
         sequential = offset == cf.read_sequential_end
+        if sequential and miss_ranges and self._prefetcher.active(ino):
+            # Adopt the in-flight next-window prefetch instead of issuing
+            # a duplicate fetch, then rescan for what is still missing.
+            yield from self._prefetcher.join(ino)
+            rescanned, miss_ranges = self.kernel.page_cache.scan(
+                cf, offset, size
+            )
+            if rescanned > hit_pages:
+                yield from task.cpu(
+                    self.costs.page_op * (rescanned - hit_pages)
+                )
         for miss_offset, miss_size in miss_ranges:
-            fetch = miss_size
-            if self.readahead_bytes and sequential:
-                fetch = max(miss_size, self.readahead_bytes)
-            fetch = min(fetch, max(file_size - miss_offset, miss_size))
+            fetch = plan_fetch(miss_offset, miss_size, file_size,
+                               self.readahead_bytes, sequential)
             yield from self.cluster.read_extent(ino, miss_offset, fetch)
             # Messenger receive processing in kworkers. Sequential reads
             # pipeline through readahead and overlap DMA; random reads pay
@@ -204,10 +219,43 @@ class CephKernelFs(Filesystem):
                 self.costs.page_op * self.costs.pages_of(miss_offset, fetch)
             )
         cf.read_sequential_end = offset + size
+        if sequential:
+            # Pipelined readahead: prefetch the next window detached while
+            # the caller copies the current one out.
+            window = next_window(offset + size, self.readahead_bytes,
+                                 file_size)
+            if window is not None:
+                self._prefetcher.launch(
+                    ino, self._prefetch(ino, window[0], window[1], account),
+                    name="%s.readahead" % self.name,
+                )
         base = self.cluster.peek(ino, offset, size)
         data = pending.overlay(offset, size, base) if pending else base
         self.metrics.counter("bytes_read").add(size)
         return data[:size]
+
+    def _prefetch(self, ino, offset, size, account):
+        """Detached next-window prefetch into the shared page cache."""
+        cf = self.kernel.page_cache.peek(self._cache_key(ino))
+        if cf is None:
+            return  # dropped (unlink/truncate) while queued
+        _hits, missing = self.kernel.page_cache.scan(cf, offset, size)
+        for miss_offset, miss_size in missing:
+            miss_size = min(
+                miss_size, max(self._local_size(ino) - miss_offset, 0)
+            )
+            if miss_size <= 0:
+                continue
+            yield from self.cluster.read_extent(ino, miss_offset, miss_size)
+            # Receive processing still runs in the host-wide kworkers —
+            # this is exactly the messenger work that readahead pipelines.
+            yield from self.kernel.workqueue.execute(
+                miss_size / self.costs.kernel_wq_read_bandwidth
+            )
+            cf = self.kernel.page_cache.peek(self._cache_key(ino))
+            if cf is None:
+                return
+            self.kernel.page_cache.insert(cf, miss_offset, miss_size, account)
 
     def write(self, task, handle, offset, data):
         ino = self._live_ino(handle)
@@ -317,6 +365,7 @@ class CephKernelFs(Filesystem):
         ino, _size = yield from self.cluster.mds_call("unlink", path)
         self.cluster.purge(ino)
         self.kernel.page_cache.drop_file(self._cache_key(ino))
+        self._prefetcher.forget(ino)
         self._pending.pop(ino, None)
         self.attr_cache[path] = _NEGATIVE
         self._sizes.pop(ino, None)

@@ -205,6 +205,11 @@ def _emit_profile(args, name, observers, entry):
             print()
             print("core stealing (foreign CPU on pool-reserved cores):")
             print(obs.format_core_steal(steal))
+        dispatch = merged["dispatch"]
+        if dispatch:
+            print()
+            print("data-path fan-out (dispatch width, per-OSD inflight):")
+            print(obs.format_dispatch_table(dispatch))
     if args.trace is not None:
         print()
         print("trace summary:")

@@ -52,6 +52,10 @@ class CostModel(object):
         self.ceph_payload_bandwidth = 4 * units.GIB
         #: stripe unit mapping files onto RADOS-like objects
         self.object_size = units.mib(1)
+        #: maximum per-object ops one client keeps in flight when a
+        #: striped read/write fans out across OSDs (the objecter's
+        #: inflight window); 1 degenerates to fully serial dispatch
+        self.client_inflight_ops = 16
 
         #: bandwidth of kernel-side messenger *send* processing (crc32c +
         #: scatter-gather assembly of flushed pages) executed by host-wide

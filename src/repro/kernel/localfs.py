@@ -24,6 +24,7 @@ from repro.common.errors import (
 from repro.fs import pathutil
 from repro.fs.api import FileHandle, FileStat, Filesystem, OpenFlags
 from repro.fs.memtree import MemTree
+from repro.fs.readahead import plan_fetch
 from repro.metrics import MetricSet
 
 __all__ = ["LocalFs"]
@@ -179,10 +180,8 @@ class LocalFs(Filesystem):
         account = self._account(task)
         sequential = offset == cf.read_sequential_end
         for miss_offset, miss_size in miss_ranges:
-            fetch_size = miss_size
-            if self.readahead_bytes and sequential:
-                fetch_size = max(miss_size, self.readahead_bytes)
-            fetch_size = min(fetch_size, max(node.size - miss_offset, miss_size))
+            fetch_size = plan_fetch(miss_offset, miss_size, node.size,
+                                    self.readahead_bytes, sequential)
             yield from self.device.transfer(
                 fetch_size, random_access=not sequential
             )

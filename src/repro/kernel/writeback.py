@@ -153,6 +153,18 @@ class WritebackDaemon(object):
                 )
                 if not picked:
                     return
+                if all_pages:
+                    # fsync: coalesce every remaining dirty page into one
+                    # vectored backend call instead of N batch-sized RPCs
+                    # (pick marks pages under-writeback, so repeated picks
+                    # return successive disjoint batches until dry).
+                    while True:
+                        more = self.page_cache.pick_flush_batch(
+                            cf, batch_pages, now=self.sim.now, min_age=min_age
+                        )
+                        if not more:
+                            break
+                        picked.extend(more)
                 # CPU to assemble the writeback batch, on *this* thread's cores.
                 yield from thread.run(
                     costs.flush_page_op * len(picked), quantum=costs.quantum

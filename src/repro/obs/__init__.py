@@ -19,6 +19,7 @@ from repro.obs.export import chrome_trace, merge_profiles
 from repro.obs.observer import Observer, Span, TraceEvent
 from repro.obs.profile import (
     format_core_steal,
+    format_dispatch_table,
     format_lock_table,
     format_trace_summary,
 )
@@ -26,7 +27,8 @@ from repro.obs.profile import (
 __all__ = [
     "Observer", "Span", "TraceEvent",
     "chrome_trace", "merge_profiles",
-    "format_lock_table", "format_core_steal", "format_trace_summary",
+    "format_lock_table", "format_core_steal", "format_dispatch_table",
+    "format_trace_summary",
     "set_default", "clear_default", "default_spec",
     "attached", "reset_attached",
 ]

@@ -96,7 +96,7 @@ def merge_profiles(observers):
     trace summaries sum per (category, name); folds concatenate.
     """
     observers = [obs for obs in observers if obs is not None]
-    lock_rows, steal_rows, fold = [], [], []
+    lock_rows, steal_rows, dispatch_rows, fold = [], [], [], []
     trace_counts = {}
     for index, obs in enumerate(observers):
         tag = "w%d" % index
@@ -108,6 +108,10 @@ def merge_profiles(observers):
             row = dict(row)
             row["world"] = tag
             steal_rows.append(row)
+        for row in obs.dispatch_profile():
+            row = dict(row)
+            row["world"] = tag
+            dispatch_rows.append(row)
         for (cat, name), count in obs.summary():
             key = (cat, name)
             trace_counts[key] = trace_counts.get(key, 0) + count
@@ -116,6 +120,7 @@ def merge_profiles(observers):
     return {
         "lock_contention": lock_rows,
         "core_steal": steal_rows,
+        "dispatch": dispatch_rows,
         "trace_summary": [
             {"category": cat, "name": name, "count": count}
             for (cat, name), count in sorted(

@@ -405,6 +405,49 @@ class Observer(object):
         rows.sort(key=lambda row: row["total_wait_s"], reverse=True)
         return rows
 
+    def dispatch_profile(self):
+        """Fan-out dispatch and per-OSD inflight rows (parallel data path).
+
+        One ``client`` row summarises the striped fan-out at the
+        dispatch point — how many multi-object calls fanned out, how
+        wide, and the inflight-window occupancy high-water — followed by
+        one row per ``osdN`` metric scope showing the server side: ops
+        inflight high-water and the queue depth seen at op arrival.
+        """
+        rows = []
+        registry = self._scopes.get("dispatch")
+        if registry is not None:
+            width = registry.histograms.get("width")
+            inflight = registry.gauges.get("inflight")
+            rows.append({
+                "scope": "client",
+                "samples": width.count if width is not None else 0,
+                "mean": width.mean if width is not None else 0.0,
+                "max": width.max if width is not None else 0,
+                "inflight_hw": (
+                    inflight.high_water if inflight is not None else 0
+                ),
+            })
+        osd_scopes = []
+        for scope in self._scopes:
+            tail = scope[3:]
+            if scope.startswith("osd") and tail.isdigit():
+                osd_scopes.append((int(tail), scope))
+        for _osd_id, scope in sorted(osd_scopes):
+            registry = self._scopes[scope]
+            qdepth = registry.histograms.get("qdepth")
+            inflight = registry.gauges.get("inflight")
+            rows.append({
+                "scope": scope,
+                "samples": qdepth.count if qdepth is not None else 0,
+                "mean": qdepth.mean if qdepth is not None else 0.0,
+                "max": qdepth.max if qdepth is not None else 0,
+                "inflight_hw": (
+                    inflight.high_water if inflight is not None else 0
+                ),
+            })
+        return rows
+
     def fold(self):
         """Flamegraph-style folded stacks from the completed spans.
 
@@ -438,6 +481,7 @@ class Observer(object):
         return {
             "lock_contention": self.lock_table(),
             "core_steal": self.core_steal_profile(),
+            "dispatch": self.dispatch_profile(),
             "cpu_by_core": {
                 core: dict(sorted(threads.items()))
                 for core, threads in sorted(self.cpu_profile().items())

@@ -4,7 +4,12 @@ The CLI prints these after a ``--profile`` run; they are deliberately
 plain fixed-width tables so diffs between runs stay readable.
 """
 
-__all__ = ["format_lock_table", "format_core_steal", "format_trace_summary"]
+__all__ = [
+    "format_lock_table",
+    "format_core_steal",
+    "format_dispatch_table",
+    "format_trace_summary",
+]
 
 
 def _render(headers, rows):
@@ -70,6 +75,31 @@ def format_core_steal(rows):
             "%.3f" % (row["foreign_s"] * 1e3),
             "%.1f" % row["foreign_pct"],
             ", ".join(row["top_thieves"]) or "-",
+        ])
+    return _render(headers, body)
+
+
+def format_dispatch_table(rows):
+    """Render fan-out dispatch rows (``Observer.dispatch_profile``).
+
+    The ``client`` row's distribution is the dispatch *width* (objects
+    per striped call); the ``osdN`` rows' distribution is the queue
+    depth each arriving op saw.
+    """
+    if not rows:
+        return "(no fan-out dispatches recorded)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "scope", "samples", "width/qdepth mean", "max", "inflight_hw",
+    ]
+    body = []
+    for row in rows:
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row["scope"],
+            row["samples"],
+            "%.2f" % row["mean"],
+            row["max"],
+            row["inflight_hw"],
         ])
     return _render(headers, body)
 

@@ -36,6 +36,7 @@ __all__ = [
     "combinator_scenario",
     "schedule_fingerprint",
     "run_reference",
+    "stripe_fanout_reference",
 ]
 
 
@@ -187,6 +188,54 @@ def schedule_fingerprint(scenario="torture", seed=1, **kwargs):
         repr(log).encode(), digest_size=16
     ).hexdigest()
     return digest, final
+
+
+def stripe_fanout_reference(inflight=None, num_osds=6, objects=6,
+                            fabric_gib=10, ino=3):
+    """The striped-data-path reference world: write then read one
+    ``objects``-object extent across ``num_osds`` OSDs.
+
+    The fabric runs at ``fabric_gib`` GiB/s — fast enough that a striped
+    read is bound by per-object OSD service, not by serialising bytes on
+    the link, so dispatch concurrency is what the completion time
+    measures. The default ``ino`` is one whose CRUSH placement spreads
+    the six objects over five distinct OSDs (ino 1 happens to hash five
+    of six objects onto one OSD, which would measure placement luck, not
+    dispatch). ``inflight`` overrides ``costs.client_inflight_ops``
+    (1 degenerates to the old fully-serial dispatch). Returns a dict of
+    schedule-sensitive observations: identical schedules produce
+    identical dicts.
+
+    Storage imports are function-local: this module sits below the
+    storage stack and the pure-engine scenarios must stay importable
+    without it.
+    """
+    from repro.common import units
+    from repro.costs import CostModel
+    from repro.net.fabric import Fabric
+    from repro.storage.cluster import CephCluster
+
+    costs = CostModel()
+    if inflight is not None:
+        costs.client_inflight_ops = inflight
+    sim = Simulator()
+    fabric = Fabric(sim, bandwidth=fabric_gib * units.GIB)
+    cluster = CephCluster(sim, fabric, costs, num_osds=num_osds)
+    size = objects * costs.object_size
+    payload = bytes(size)
+    out = {}
+
+    def driver():
+        yield from cluster.write_extent(ino, 0, payload)
+        out["write_done_s"] = sim.now
+        t0 = sim.now
+        data = yield from cluster.read_extent(ino, 0, size)
+        out["read_s"] = sim.now - t0
+        out["read_ok"] = len(data) == size
+
+    sim.spawn(driver(), name="driver")
+    out["final_s"] = sim.run()
+    return out
 
 
 def run_reference(scenario="torture", seed=1, repeat=1, **kwargs):

@@ -18,6 +18,7 @@ from repro.common.errors import (
     OpTimeout,
 )
 from repro.metrics import MetricSet
+from repro.sim.sync import Semaphore
 from repro.storage.crush import CrushMap
 from repro.storage.mds import Mds
 from repro.storage.monitor import Monitor
@@ -53,6 +54,17 @@ class CephCluster(object):
         #: RPC attempts currently in flight through the retry machinery;
         #: chaos runs assert this drains to zero at convergence.
         self.inflight_attempts = 0
+        #: fan-out inflight window: striped per-object ops dispatched
+        #: concurrently per client call are bounded by this semaphore
+        #: (the objecter's inflight cap). Capacity 1 degenerates to the
+        #: old fully-serial dispatch.
+        self._window = Semaphore(
+            sim,
+            max(1, int(getattr(costs, "client_inflight_ops", 16))),
+            name="client_window",
+        )
+        #: fan-out children currently holding a window slot (gauge feed)
+        self._fanout_inflight = 0
         #: peek() assembly memo: (ino, offset, size) -> (witness, bytes).
         #: The witness records which OSD backed each extent and its
         #: store_epoch at assembly time; any byte mutation anywhere on a
@@ -264,35 +276,100 @@ class CephCluster(object):
             remaining -= length
         return extents
 
+    # -- fan-out dispatch --------------------------------------------------
+
+    def _windowed(self, gen):
+        """Run one fan-out child under the inflight window.
+
+        Failures fold into the returned ``(ok, value_or_error)`` tuple —
+        a sibling's failure must never leave this child as an abandoned
+        process whose late exception would abort the whole simulation
+        (see :meth:`_attempt` for the same pattern on the retry path).
+        """
+        yield self._window.acquire()
+        self._fanout_inflight += 1
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("dispatch").gauge("inflight").set(
+                self._fanout_inflight
+            )
+        try:
+            value = yield from gen
+            return (True, value)
+        except Exception as err:
+            return (False, err)
+        finally:
+            self._fanout_inflight -= 1
+            if obs is not None:
+                obs.metrics("dispatch").gauge("inflight").set(
+                    self._fanout_inflight
+                )
+            self._window.release()
+
+    def _dispatch(self, jobs, what):
+        """Run per-object job generators concurrently; returns their
+        results in job order.
+
+        A single job runs inline — no spawn, no window — so single-object
+        ops keep the exact pre-fan-out event schedule. Multiple jobs
+        spawn one child each, bounded by ``costs.client_inflight_ops``;
+        every child settles (fold, never raise) before the first failure,
+        in dispatch order, is re-raised — so no child is ever abandoned
+        mid-RPC holding a server slot.
+        """
+        if len(jobs) == 1:
+            return [(yield from jobs[0])]
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("dispatch").histogram("width").observe(len(jobs))
+        children = [
+            self.sim.spawn(self._windowed(gen), name="fanout:%s" % what)
+            for gen in jobs
+        ]
+        outcomes = yield self.sim.all_of(children)
+        results = []
+        failure = None
+        for ok, value in outcomes:
+            results.append(value if ok else None)
+            if not ok and failure is None:
+                failure = value
+        if failure is not None:
+            raise failure
+        return results
+
     # -- data path (client-callable generators) ---------------------------------
 
     def read_extent(self, ino, offset, size):
         """Fetch ``[offset, offset+size)`` of file ``ino`` from the OSDs.
 
-        Returns the bytes actually stored (holes read as zeros only within
-        stored objects; fully absent tails return shorter data). When
-        every replica of a stored object sits on a crashed or down OSD,
-        the retries exhaust and :class:`DataUnavailable` (EIO) surfaces —
-        never silently-empty data.
+        Per-object reads of a striped range fan out concurrently under
+        the inflight window. Returns the bytes actually stored (holes
+        read as zeros only within stored objects; fully absent tails
+        return shorter data). When every replica of a stored object sits
+        on a crashed or down OSD, the retries exhaust and
+        :class:`DataUnavailable` (EIO) surfaces — never silently-empty
+        data.
         """
         resilient = self.resilient
-        parts = []
+        jobs = []
         for index, obj_off, length in self.object_extents(offset, size):
             if resilient:
-                data = yield from self._resilient_read(
-                    ino, index, obj_off, length
-                )
+                jobs.append(self._resilient_read(ino, index, obj_off, length))
             else:
-                osd = self.osds[self._read_target(ino, index)]
-                data = yield from self.fabric.rpc(
-                    osd.read(ino, index, obj_off, length),
-                    send_bytes=0,
-                    recv_bytes=length,
-                )
-            parts.append(data)
+                jobs.append(self._plain_read(ino, index, obj_off, length))
+        parts = yield from self._dispatch(jobs, "read")
         self.metrics.counter("read_bytes").add(size)
         self._notify_op()
         return b"".join(parts)
+
+    def _plain_read(self, ino, index, obj_off, length):
+        """One fast-path object read (healthy cluster, no retry race)."""
+        osd = self.osds[self._read_target(ino, index)]
+        return (yield from self.fabric.rpc(
+            osd.read(ino, index, obj_off, length),
+            send_bytes=0,
+            recv_bytes=length,
+        ))
 
     def _resilient_read(self, ino, index, obj_off, length):
         if self._integrity_armed:
@@ -447,7 +524,13 @@ class CephCluster(object):
         return self.scrub
 
     def write_extent(self, ino, offset, data):
-        """Write ``data`` at ``offset`` of file ``ino`` to all replicas."""
+        """Write ``data`` at ``offset`` of file ``ino`` to all replicas.
+
+        Striped writes fan out per object under the inflight window; on
+        the fast path replica pushes are independent leaf jobs too, so
+        distinct OSDs absorb the copies concurrently. Both the plain and
+        the resilient path dispatch through :meth:`_dispatch`.
+        """
         resilient = self.resilient
         position = 0
         # Slice every piece up front through one memoryview (single copy
@@ -459,41 +542,152 @@ class CephCluster(object):
             sliced.append((index, obj_off, bytes(view[position:position + length])))
             position += length
         view.release()
-        for index, obj_off, piece in sliced:
-            length = len(piece)
-            if resilient:
-                yield from self._resilient_write(ino, index, obj_off, piece)
-            else:
-                for osd_id in self._write_targets(ino, index):
-                    osd = self.osds[osd_id]
-                    yield from self.fabric.rpc(
-                        osd.write(ino, index, obj_off, piece),
-                        send_bytes=length,
-                        recv_bytes=0,
-                    )
+        if resilient:
+            jobs = [
+                self._resilient_write(ino, index, obj_off, piece)
+                for index, obj_off, piece in sliced
+            ]
+        else:
+            # Flat object x replica leaf RPCs: idempotent and order-free,
+            # so one windowed dispatch covers stripe and replica fan-out
+            # without nesting window acquisitions (which could deadlock).
+            jobs = [
+                self._push_replica(ino, index, obj_off, piece, osd_id)
+                for index, obj_off, piece in sliced
+                for osd_id in self._write_targets(ino, index)
+            ]
+        yield from self._dispatch(jobs, "write")
         self.metrics.counter("write_bytes").add(len(data))
         self._notify_op()
         return len(data)
 
+    def _push_replica(self, ino, index, obj_off, piece, osd_id):
+        """One fast-path replica push (healthy cluster, no retry race)."""
+        return (yield from self.fabric.rpc(
+            self.osds[osd_id].write(ino, index, obj_off, piece),
+            send_bytes=len(piece),
+            recv_bytes=0,
+        ))
+
+    def _fanned_replicas(self, pushes):
+        """Run replica-push generators concurrently inside one attempt.
+
+        Children fold their own failures via :meth:`_attempt` (so an
+        attempt abandoned by the timeout race can never strand a child
+        whose late exception aborts the sim), every push settles before
+        the first error re-raises, and rewriting a replica stays
+        idempotent — the retry loop simply redoes the whole set.
+        """
+        if len(pushes) == 1:
+            return (yield from pushes[0])
+        children = [
+            self.sim.spawn(self._attempt(gen), name="replica-push")
+            for gen in pushes
+        ]
+        outcomes = yield self.sim.all_of(children)
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+        return outcomes[0][1]
+
     def _resilient_write(self, ino, index, obj_off, piece):
         """Replicated object write with per-attempt target re-resolution.
 
-        Each attempt writes the *current* target set sequentially; a
+        Each attempt pushes the *current* target set concurrently; a
         mid-attempt failure retries the whole set (rewriting a replica is
-        idempotent: same bytes, same offset). The race timeout scales
-        with the replica count since one attempt covers every copy.
+        idempotent: same bytes, same offset). The race timeout keeps the
+        conservative replica scaling — a degraded backend can still
+        serialise the copies behind one slow OSD.
         """
         def resolve():
             targets = self._write_targets(ino, index)
 
             def attempt():
-                for osd_id in targets:
-                    yield from self.fabric.rpc(
-                        self.osds[osd_id].write(ino, index, obj_off, piece),
-                        send_bytes=len(piece),
-                        recv_bytes=0,
-                    )
+                yield from self._fanned_replicas([
+                    self._push_replica(ino, index, obj_off, piece, osd_id)
+                    for osd_id in targets
+                ])
                 return len(piece)
+
+            report = targets[0] if len(targets) == 1 else None
+            return report, attempt()
+
+        written = yield from self._retry(
+            "write", resolve, timeout_scale=self.crush.replicas
+        )
+        self._record_stale(ino, index)
+        return written
+
+    def write_vector(self, ino, extents):
+        """Write many dirty extents of one file in a single fan-out.
+
+        ``extents`` is ``[(offset, bytes)]`` — a flush batch. Extents are
+        split at object boundaries and grouped per target OSD; each group
+        ships as *one* vectored RPC (one request, one queue slot, one
+        journal+data commit covering the group's total bytes) instead of
+        one RPC per dirty block. Groups dispatch concurrently under the
+        inflight window. Returns the total bytes written.
+        """
+        pieces_by_object = {}  # index -> [(obj_off, bytes)]
+        total = 0
+        for offset, data in extents:
+            position = 0
+            view = memoryview(data)
+            for index, obj_off, length in self.object_extents(offset, len(data)):
+                pieces_by_object.setdefault(index, []).append(
+                    (obj_off, bytes(view[position:position + length]))
+                )
+                position += length
+            view.release()
+            total += len(data)
+        if not pieces_by_object:
+            return 0
+        if self.resilient:
+            # Per-object retry keeps blame, resend and stale-marking at
+            # object granularity, exactly like single-extent writes.
+            jobs = [
+                self._resilient_write_vector(ino, index, pieces)
+                for index, pieces in sorted(pieces_by_object.items())
+            ]
+        else:
+            groups = {}  # osd_id -> [(index, obj_off, bytes)]
+            for index, pieces in sorted(pieces_by_object.items()):
+                for osd_id in self._write_targets(ino, index):
+                    groups.setdefault(osd_id, []).extend(
+                        (index, obj_off, piece) for obj_off, piece in pieces
+                    )
+            jobs = [
+                self._push_vector(ino, osd_id, chunk)
+                for osd_id, chunk in sorted(groups.items())
+            ]
+        yield from self._dispatch(jobs, "writev")
+        self.metrics.counter("write_bytes").add(total)
+        self._notify_op()
+        return total
+
+    def _push_vector(self, ino, osd_id, pieces):
+        """One fast-path vectored push: many pieces, one RPC, one commit."""
+        nbytes = sum(len(piece) for _index, _off, piece in pieces)
+        return (yield from self.fabric.rpc(
+            self.osds[osd_id].write_vector(ino, pieces),
+            send_bytes=nbytes,
+            recv_bytes=0,
+        ))
+
+    def _resilient_write_vector(self, ino, index, pieces):
+        """Vectored write of one object's pieces through the retry race."""
+        chunk = [(index, obj_off, piece) for obj_off, piece in pieces]
+        nbytes = sum(len(piece) for _off, piece in pieces)
+
+        def resolve():
+            targets = self._write_targets(ino, index)
+
+            def attempt():
+                yield from self._fanned_replicas([
+                    self._push_vector(ino, osd_id, chunk)
+                    for osd_id in targets
+                ])
+                return nbytes
 
             report = targets[0] if len(targets) == 1 else None
             return report, attempt()

@@ -72,6 +72,8 @@ class Osd(object):
         #: work, no events). Recovery pushes use it to detect a write
         #: racing their source snapshot.
         self._versions = {}  # (ino, index) -> int
+        #: ops currently inside the service section (fan-out visibility)
+        self.inflight = 0
         self.metrics = MetricSet("osd%d" % osd_id)
 
     # -- fault injection -------------------------------------------------
@@ -135,6 +137,28 @@ class Osd(object):
             # timeout surfaces out of a multi-target write attempt.
             err.osd_id = self.osd_id
             raise err
+
+    def _enter_op(self):
+        """Track one op entering service: inflight gauge + queue depth.
+
+        Called right before the slot acquire so the histogram sees the
+        queue the op found on arrival. Pure counter work unless an
+        observer is attached.
+        """
+        self.inflight += 1
+        obs = self.sim.observer
+        if obs is not None:
+            registry = obs.metrics("osd%d" % self.osd_id)
+            registry.gauge("inflight").set(self.inflight)
+            registry.histogram("qdepth").observe(self._slots.queue_len)
+
+    def _exit_op(self):
+        self.inflight -= 1
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("osd%d" % self.osd_id).gauge("inflight").set(
+                self.inflight
+            )
 
     # -- integrity bookkeeping (pure state, no sim events) ----------------
 
@@ -265,6 +289,7 @@ class Osd(object):
             raise InvalidArgument("negative offset/size")
         yield from self._check_up()
         started = self.sim.now
+        self._enter_op()
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
@@ -277,6 +302,7 @@ class Osd(object):
                 yield from self.device.transfer(len(data))
         finally:
             self._slots.release()
+            self._exit_op()
         self.metrics.counter("reads").add(1)
         self.metrics.counter("bytes_read").add(len(data))
         obs = self.sim.observer
@@ -286,37 +312,43 @@ class Osd(object):
             ).observe(self.sim.now - started)
         return data
 
+    def _apply_write(self, ino, index, offset, data):
+        """Splice one write into the store with full digest bookkeeping."""
+        key = (ino, index)
+        obj = self._objects.get(key)
+        if obj is None:
+            obj = self._objects[key] = bytearray()
+            self._by_ino.setdefault(ino, set()).add(index)
+        end = offset + len(data)
+        old_len = len(obj)
+        touch_start = min(offset, old_len)
+        if self.verify_enabled:
+            self._precheck_overwrite(key, obj, touch_start, end)
+        if offset > old_len:
+            obj.extend(b"\x00" * (offset - old_len))
+        obj[offset:end] = data
+        self.store_epoch += 1
+        self._bump_version(key)
+        if self.verify_enabled:
+            self._record_digests(key, obj, touch_start, end)
+
     def write(self, ino, index, offset, data):
         """Apply an object write: journal first, then the data store."""
         if offset < 0:
             raise InvalidArgument("negative offset")
         yield from self._check_up()
         started = self.sim.now
+        self._enter_op()
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)
             # Journal append, then in-place data write.
             yield from self.device.transfer(len(data), write=True)
             yield from self.device.transfer(len(data), write=True)
-            key = (ino, index)
-            obj = self._objects.get(key)
-            if obj is None:
-                obj = self._objects[key] = bytearray()
-                self._by_ino.setdefault(ino, set()).add(index)
-            end = offset + len(data)
-            old_len = len(obj)
-            touch_start = min(offset, old_len)
-            if self.verify_enabled:
-                self._precheck_overwrite(key, obj, touch_start, end)
-            if offset > old_len:
-                obj.extend(b"\x00" * (offset - old_len))
-            obj[offset:end] = data
-            self.store_epoch += 1
-            self._bump_version(key)
-            if self.verify_enabled:
-                self._record_digests(key, obj, touch_start, end)
+            self._apply_write(ino, index, offset, data)
         finally:
             self._slots.release()
+            self._exit_op()
         self.metrics.counter("writes").add(1)
         self.metrics.counter("bytes_written").add(len(data))
         obs = self.sim.observer
@@ -325,6 +357,43 @@ class Osd(object):
                 "write_service_s"
             ).observe(self.sim.now - started)
         return len(data)
+
+    def write_vector(self, ino, pieces):
+        """Apply several extent writes of one file as a single op.
+
+        ``pieces`` is ``[(index, obj_off, bytes)]`` — the coalesced dirty
+        run a flush batched for this OSD. One queue slot, one op charge
+        and one journal+data commit cover the batch's total bytes; every
+        piece then splices into its object with the same digest
+        bookkeeping as a lone :meth:`write`.
+        """
+        for _index, offset, _data in pieces:
+            if offset < 0:
+                raise InvalidArgument("negative offset")
+        total = sum(len(data) for _index, _off, data in pieces)
+        yield from self._check_up()
+        started = self.sim.now
+        self._enter_op()
+        yield self._slots.acquire()
+        try:
+            yield self.sim.timeout(self.costs.osd_op)
+            yield from self.device.transfer(total, write=True)
+            yield from self.device.transfer(total, write=True)
+            for index, offset, data in pieces:
+                self._apply_write(ino, index, offset, data)
+        finally:
+            self._slots.release()
+            self._exit_op()
+        self.metrics.counter("writes").add(1)
+        self.metrics.counter("vector_writes").add(1)
+        self.metrics.counter("vector_pieces").add(len(pieces))
+        self.metrics.counter("bytes_written").add(total)
+        obs = self.sim.observer
+        if obs is not None:
+            obs.metrics("osd%d" % self.osd_id).histogram(
+                "write_service_s"
+            ).observe(self.sim.now - started)
+        return total
 
     def truncate(self, ino, index, size):
         """Truncate one object (used by file truncation)."""
