@@ -1,15 +1,25 @@
 #!/usr/bin/env python
-"""Run one corruption-chaos cell of the scheduled CI matrix.
+"""Run one chaos cell of the scheduled CI matrix.
 
-Runs the full chaos pipeline with silent-corruption faults (bitrot +
-torn replica writes) and the background scrub daemon enabled, then dumps
-a JSON record — including the run's determinism fingerprint — for
-artifact upload. Exits non-zero when the run fails integrity, so the
-scheduled job goes red on any acknowledged-data loss.
+Two scenarios:
+
+* ``corruption`` (default) — the full chaos pipeline with
+  silent-corruption faults (bitrot + torn replica writes) and the
+  background scrub daemon enabled.
+* ``churn`` — the membership-churn preset (``run_membership_churn``):
+  an OSD crash, a flap burst, a runtime OSD add and a graceful drain
+  under heartbeats, map epochs and throttled backfill.
+
+Either way the script dumps a JSON record — including the run's
+determinism fingerprint — for artifact upload, and exits non-zero when
+the run fails integrity or convergence, so the scheduled job goes red
+on any acknowledged-data loss or a cluster that never re-replicates.
 
 Usage:
     PYTHONPATH=src python scripts/chaos_matrix.py --seed 7 \
         --out artifacts/chaos-seed7.json
+    PYTHONPATH=src python scripts/chaos_matrix.py --scenario churn \
+        --seed 7 --out artifacts/churn-seed7.json
 """
 
 import argparse
@@ -18,14 +28,17 @@ import json
 import os
 import sys
 
-from repro.faults import run_chaos
+from repro.faults import run_chaos, run_membership_churn
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=("corruption", "churn"),
+                        default="corruption")
     parser.add_argument("--seed", type=int, required=True)
-    parser.add_argument("--duration", type=float, default=10.0,
-                        help="workload duration in sim seconds")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="workload duration in sim seconds "
+                             "(default: 10 for corruption, 14 for churn)")
     parser.add_argument("--replicas", type=int, default=2)
     parser.add_argument("--bitrot", type=int, default=2)
     parser.add_argument("--torn-writes", type=int, default=1)
@@ -33,20 +46,33 @@ def main(argv=None):
                         help="write the JSON record here (default: stdout)")
     args = parser.parse_args(argv)
 
-    result = run_chaos(
-        seed=args.seed,
-        duration=args.duration,
-        replicas=args.replicas,
-        bitrot=args.bitrot,
-        torn_writes=args.torn_writes,
-        scrub=True,
-    )
+    if args.scenario == "churn":
+        result = run_membership_churn(
+            seed=args.seed,
+            duration=args.duration if args.duration is not None else 14.0,
+            replicas=args.replicas,
+        )
+    else:
+        result = run_chaos(
+            seed=args.seed,
+            duration=args.duration if args.duration is not None else 10.0,
+            replicas=args.replicas,
+            bitrot=args.bitrot,
+            torn_writes=args.torn_writes,
+            scrub=True,
+        )
     fingerprint = result.fingerprint()
     record = {
+        "scenario": args.scenario,
         "seed": args.seed,
         "ok": result.ok,
         "converged": result.converged,
         "scrub_converged": result.scrub_converged,
+        "membership_converged": result.membership_converged,
+        "under_replicated": [list(key) for key in result.under_replicated],
+        "map_epoch": result.map_epoch,
+        "backfill_objects": result.backfill_objects,
+        "backfill_bytes": result.backfill_bytes,
         "corruptions": result.corruptions,
         "repairs": result.repairs,
         "integrity_errors": result.integrity_errors,
@@ -73,10 +99,12 @@ def main(argv=None):
             fh.write(payload + "\n")
     else:
         print(payload)
-    print("seed=%d ok=%s corruptions=%d repairs=%d fingerprint=%s" % (
-        args.seed, result.ok, result.corruptions, result.repairs,
-        record["fingerprint"],
-    ), file=sys.stderr)
+    print("scenario=%s seed=%d ok=%s epoch=%d backfill=%dB "
+          "corruptions=%d repairs=%d fingerprint=%s" % (
+              args.scenario, args.seed, result.ok, result.map_epoch,
+              result.backfill_bytes, result.corruptions, result.repairs,
+              record["fingerprint"],
+          ), file=sys.stderr)
     return 0 if result.ok else 1
 
 

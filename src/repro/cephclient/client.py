@@ -71,6 +71,11 @@ class CephLibClient(Filesystem):
     ):
         self.sim = sim
         self.cluster = cluster
+        #: this client's view of the osdmap epoch — kept current by a
+        #: monitor subscription (the MON -> client map push; the cluster
+        #: stamps the actual data-path ops with its own snapshot)
+        self.osdmap_epoch = cluster.monitor.epoch
+        cluster.monitor.subscribe(self._on_osdmap)
         self.costs = costs
         self.account = account
         self.name = name
@@ -122,6 +127,10 @@ class CephLibClient(Filesystem):
         self._held_caps = {}  # ino -> caps mask held under this session
         if start_flusher:
             sim.spawn(self._flusher_loop(), name="%s.flusher" % name)
+
+    def _on_osdmap(self, osdmap):
+        """Monitor pushed a new osdmap (membership/CRUSH change)."""
+        self.osdmap_epoch = osdmap.epoch
 
     # -- locking ---------------------------------------------------------
 

@@ -50,6 +50,10 @@ class CephKernelFs(Filesystem):
         self.sim = kernel.sim
         self.costs = kernel.costs
         self.cluster = cluster
+        #: kernel client's osdmap-epoch view, kept current by a monitor
+        #: subscription (mirrors the libceph client's map push)
+        self.osdmap_epoch = cluster.monitor.epoch
+        cluster.monitor.subscribe(self._on_osdmap)
         self.name = name
         self.readahead_bytes = readahead_bytes
         self.direct_io = direct_io
@@ -64,6 +68,10 @@ class CephKernelFs(Filesystem):
         self.metrics = MetricSet(name)
 
     # -- helpers ----------------------------------------------------------
+
+    def _on_osdmap(self, osdmap):
+        """Monitor pushed a new osdmap (membership/CRUSH change)."""
+        self.osdmap_epoch = osdmap.epoch
 
     def _cache_key(self, ino):
         return ("cephk", self.fs_id, ino)

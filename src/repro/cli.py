@@ -210,6 +210,11 @@ def _emit_profile(args, name, observers, entry):
             print()
             print("data-path fan-out (dispatch width, per-OSD inflight):")
             print(obs.format_dispatch_table(dispatch))
+        recovery = merged["recovery"]
+        if recovery:
+            print()
+            print("membership recovery (map epochs, backfill, degraded):")
+            print(obs.format_recovery_table(recovery))
     if args.trace is not None:
         print()
         print("trace summary:")

@@ -32,6 +32,9 @@ Hierarchy (fault taxonomy in one place):
                                        repair or a fresh write clears it)
     . . OpTimeout          ETIMEDOUT   client-side op timeout expired;
                                        retryable (epoch-aware resend)
+    . . OldEpoch           EAGAIN      OSD rejected an op stamped with a
+                                       stale osdmap epoch; retryable after
+                                       the client refreshes its map
     . . NetworkPartitioned ENETUNREACH link partitioned or message lost;
                                        retryable after the partition heals
     . . ServiceRestarting  EAGAIN      Danaus service is down but supervised;
@@ -190,6 +193,21 @@ class OpTimeout(FsError):
     default_errno = errno.ETIMEDOUT
 
 
+class OldEpoch(FsError):
+    """EAGAIN: an OSD rejected an op carrying a stale osdmap epoch.
+
+    The EOLDEPOCH analogue: every data-path RPC is stamped with the map
+    epoch the client resolved placement from, and an OSD holding a newer
+    map refuses the op before touching its store — the request may have
+    been routed by a map that no longer reflects membership. Retryable:
+    the client refreshes its map subscription and re-resolves placement
+    on the next attempt. Never raised on the fault-free fast path, which
+    sends no epoch stamp at all.
+    """
+
+    default_errno = errno.EAGAIN
+
+
 class NetworkPartitioned(FsError):
     """ENETUNREACH: the fabric is partitioned or dropped the message."""
 
@@ -225,4 +243,5 @@ class OutOfMemory(ReproError):
 
 #: Transient failures that retry/backoff layers resend; everything else
 #: propagates to the caller immediately.
-RETRYABLE = (DataUnavailable, OpTimeout, NetworkPartitioned, ServiceRestarting)
+RETRYABLE = (DataUnavailable, OpTimeout, OldEpoch, NetworkPartitioned,
+             ServiceRestarting)

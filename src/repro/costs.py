@@ -143,9 +143,41 @@ class CostModel(object):
         #: op-timeout reports against one OSD before the monitor marks it
         #: down (the failure-report quorum of the Ceph heartbeat protocol)
         self.osd_failure_reports = 2
+        #: sliding window over which failure reports against one OSD are
+        #: counted; a single transient blame expires instead of lingering
+        #: until the quorum is eventually met
+        self.failure_report_window = 5.0
         #: supervisor delay between detecting a service crash and the
         #: restarted service accepting requests again
         self.restart_delay = 0.5
+
+        # --- membership lifecycle (heartbeats / osdmap epochs) ----------------
+        #: monitor heartbeat probe period once ``start_heartbeats`` runs
+        self.heartbeat_interval = 0.1
+        #: missed probes before a silent OSD is marked down (a *suspect*
+        #: OSD — blamed by reports — is confirmed down on the next miss)
+        self.heartbeat_grace = 3
+        #: seconds an OSD stays down before the monitor marks it *out*
+        #: and backfill re-replicates its data elsewhere
+        self.osd_out_interval = 2.0
+        #: down->up transitions within ``flap_window`` that trigger flap
+        #: damping (the rejoin is held back for ``flap_probation``)
+        self.flap_threshold = 3
+        #: sliding window for counting flaps (seconds)
+        self.flap_window = 5.0
+        #: probation a flapping OSD serves before it may rejoin
+        self.flap_probation = 1.0
+
+        # --- backfill throttle ------------------------------------------------
+        #: pause between backfill scheduler cycles (sim seconds)
+        self.backfill_interval = 0.25
+        #: recovery bytes one target OSD accepts per backfill cycle
+        self.backfill_bytes_per_osd = units.mib(2)
+        #: recovery pushes one target OSD accepts per backfill cycle
+        self.backfill_ops_per_osd = 8
+        #: minimum acting-set size a write needs to proceed degraded
+        #: (the pool min_size; writes below it raise DataUnavailable)
+        self.pool_min_size = 1
 
         # --- data integrity / scrub ------------------------------------------
         #: granularity of per-object checksums (bluestore-style per-chunk

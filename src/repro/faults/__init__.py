@@ -12,14 +12,26 @@ Three layers (see ``docs/faults.md``):
   plan and verifies end-to-end data integrity and convergence.
 """
 
-from repro.faults.chaos import ChaosFileserver, ChaosResult, run_chaos
-from repro.faults.plan import KINDS, FaultAction, FaultPlan
+from repro.faults.chaos import (
+    ChaosFileserver,
+    ChaosResult,
+    run_chaos,
+    run_membership_churn,
+)
+from repro.faults.plan import (
+    KINDS,
+    MEMBERSHIP_KINDS,
+    FaultAction,
+    FaultPlan,
+)
 
 __all__ = [
     "FaultAction",
     "FaultPlan",
     "KINDS",
+    "MEMBERSHIP_KINDS",
     "ChaosFileserver",
     "ChaosResult",
     "run_chaos",
+    "run_membership_churn",
 ]

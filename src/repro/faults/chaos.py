@@ -26,7 +26,12 @@ from repro.stacks import StackFactory
 from repro.workloads.base import Workload
 from repro.world import World
 
-__all__ = ["ChaosFileserver", "ChaosResult", "run_chaos"]
+__all__ = [
+    "ChaosFileserver",
+    "ChaosResult",
+    "run_chaos",
+    "run_membership_churn",
+]
 
 #: Marks a file whose on-disk content cannot be asserted (failed write).
 UNKNOWN = "unknown"
@@ -158,7 +163,9 @@ class ChaosResult(object):
     def __init__(self, seed, plan_log, digests, checked, skipped, mismatches,
                  read_mismatches, workload_result, converged, retries,
                  service_restarts, corruptions=0, integrity_errors=(),
-                 quarantined=(), repairs=0, scrub_converged=True):
+                 quarantined=(), repairs=0, scrub_converged=True,
+                 membership_converged=True, under_replicated=(),
+                 map_epoch=0, backfill_objects=0, backfill_bytes=0):
         self.seed = seed
         self.plan_log = plan_log
         self.digests = digests
@@ -180,12 +187,24 @@ class ChaosResult(object):
         self.repairs = repairs
         #: True when the final deep-scrub drain reached a clean pass
         self.scrub_converged = scrub_converged
+        #: True when membership settled: every OSD rejoined and the
+        #: backfill drain reached idle (trivially True without lifecycle)
+        self.membership_converged = membership_converged
+        #: object keys still under-replicated at convergence
+        self.under_replicated = sorted(under_replicated)
+        #: final osdmap epoch (0 when the lifecycle never armed)
+        self.map_epoch = map_epoch
+        #: objects and bytes the backfill scheduler pushed over the run
+        self.backfill_objects = backfill_objects
+        self.backfill_bytes = backfill_bytes
 
     @property
     def ok(self):
         return (
             self.converged
             and self.scrub_converged
+            and self.membership_converged
+            and not self.under_replicated
             and not self.mismatches
             and not self.read_mismatches
             and not self.integrity_errors
@@ -211,7 +230,8 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
               mean_size=32 * 1024, plan=None, supervise=True, until=600.0,
               osd_crashes=1, partitions=1, service_crashes=1, mds_windows=0,
               slow_disks=0, replicas=1, bitrot=0, torn_writes=0,
-              scrub=False, scrub_interval=None):
+              scrub=False, scrub_interval=None, flaps=0, osd_adds=0,
+              osd_drains=0):
     """Full chaos pipeline; returns a :class:`ChaosResult`.
 
     Builds a one-pool testbed of stack ``symbol``, generates (or takes) a
@@ -223,6 +243,13 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
     that every injected corruption was repaired (``integrity_errors``,
     ``scrub_converged``). Corruption runs want ``replicas >= 2`` — with a
     single replica there is nothing to repair from, only quarantine.
+
+    ``flaps``/``osd_adds``/``osd_drains`` schedule membership churn;
+    installing such a plan arms the heartbeat prober and the throttled
+    backfill scheduler, and the pipeline then waits for every OSD to
+    rejoin and for backfill to drain before verifying
+    (``membership_converged``, ``under_replicated``). Churn runs want
+    ``replicas >= 2`` so degraded windows stay readable.
     """
     world = World(num_cores=8, ram_bytes=units.gib(16), replicas=replicas)
     world.activate_cores(4)
@@ -250,6 +277,9 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             slow_disks=slow_disks,
             bitrot=bitrot,
             torn_writes=torn_writes,
+            flaps=flaps,
+            osd_adds=osd_adds,
+            osd_drains=osd_drains,
         )
     workload = ChaosFileserver(
         mount.fs, pool, duration=duration, threads=threads, nfiles=nfiles,
@@ -284,6 +314,23 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             if not plan.pending_corruptions:
                 break
             yield world.sim.timeout(0.25)
+        # Membership convergence: wait for the heartbeat prober to
+        # rejoin every bounced OSD (flap probations included), then
+        # drain backfill so remapped/degraded objects are materialised
+        # on their acting sets and strays are trimmed.
+        monitor = world.cluster.monitor
+        membership_converged = True
+        if monitor.heartbeats_enabled:
+            for _ in range(600):
+                if not monitor.has_failures():
+                    break
+                yield world.sim.timeout(0.25)
+        if world.cluster.backfill is not None:
+            membership_converged = yield from world.cluster.backfill.drain()
+        if monitor.lifecycle:
+            membership_converged = (
+                membership_converged and not monitor.has_failures()
+            )
         scrub_converged = True
         if scrub_daemon is not None:
             # Stop the periodic loop, then deep-scrub to convergence so
@@ -304,6 +351,7 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
         )
         cluster_metrics = world.cluster.metrics
         monitor_metrics = world.cluster.monitor.metrics
+        backfill = world.cluster.backfill
         corruptions = sum(
             int(osd.metrics.counter("bitrot_injected").value)
             + int(osd.metrics.counter("torn_injected").value)
@@ -329,6 +377,20 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
             quarantined=set(world.cluster.quarantined),
             repairs=int(monitor_metrics.counter("objects_repaired").value),
             scrub_converged=scrub_converged,
+            membership_converged=membership_converged,
+            under_replicated=[
+                (ino, index)
+                for ino, index, _missing in monitor.under_replicated()
+            ],
+            map_epoch=monitor.epoch,
+            backfill_objects=(
+                int(backfill.metrics.counter("objects_pushed").value)
+                if backfill is not None else 0
+            ),
+            backfill_bytes=(
+                int(backfill.metrics.counter("bytes_moved").value)
+                if backfill is not None else 0
+            ),
         )
 
     process = world.sim.spawn(pipeline(), name="chaos-run")
@@ -336,3 +398,27 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
     if not finished:
         raise SimulationError("chaos run did not converge by t=%s" % until)
     return process.value
+
+
+def run_membership_churn(seed=0, duration=14.0, **overrides):
+    """Membership-churn chaos preset; returns a :class:`ChaosResult`.
+
+    One heartbeat-detected crash/restart, one flapping OSD, one runtime
+    ``osd_add`` and one graceful ``osd_drain`` over a two-replica pool —
+    the full monitor lifecycle (up → suspect → down → out → rejoin),
+    epoch-fenced client ops and throttled backfill, all in one run. The
+    result's :attr:`ChaosResult.ok` additionally asserts that membership
+    converged and nothing is left under-replicated. Extra ``run_chaos``
+    keywords (``symbol=``, ``scrub=``, ...) pass through.
+    """
+    kwargs = dict(
+        replicas=2,
+        osd_crashes=1,
+        flaps=1,
+        osd_adds=1,
+        osd_drains=1,
+        partitions=0,
+        service_crashes=0,
+    )
+    kwargs.update(overrides)
+    return run_chaos(seed=seed, duration=duration, **kwargs)

@@ -26,18 +26,34 @@ Supported action kinds:
                    deterministically chosen object (``target`` pins the OSD)
 ``torn_write``     silently truncate one replica's copy to
                    ``keep_fraction`` of its size (a torn replica write)
+``osd_flap``       bounce OSD ``target`` down/up ``count`` times ``period``
+                   seconds apart (exercises monitor flap damping)
+``osd_add``        grow the cluster by one OSD at runtime (CRUSH remap,
+                   throttled backfill onto the newcomer)
+``osd_drain``      gracefully drain OSD ``target`` out of the CRUSH map
+                   (its objects remap away; backfill migrates, then trims)
 =================  ==========================================================
 
 Scheduling any corruption kind arms cluster integrity on install
 (checksum recording, verified reads, read-repair) — the silent faults are
-only survivable with verification on.
+only survivable with verification on. Scheduling any membership kind
+(:data:`MEMBERSHIP_KINDS`) arms the failure lifecycle on install: the
+monitor's heartbeat prober detects crashes instead of oracle
+``mark_down`` calls, and the throttled backfill scheduler re-replicates
+what churn displaces.
 """
 
 from repro.common.errors import RETRYABLE, ConfigError
 from repro.common.rng import make_rng
 from repro.metrics import MetricSet
 
-__all__ = ["CORRUPTION_KINDS", "FaultAction", "FaultPlan", "KINDS"]
+__all__ = [
+    "CORRUPTION_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "KINDS",
+    "MEMBERSHIP_KINDS",
+]
 
 KINDS = (
     "osd_crash",
@@ -50,10 +66,17 @@ KINDS = (
     "flusher_stall",
     "bitrot",
     "torn_write",
+    "osd_flap",
+    "osd_add",
+    "osd_drain",
 )
 
 #: Fault kinds that silently corrupt stored replicas (integrity required).
 CORRUPTION_KINDS = ("bitrot", "torn_write")
+
+#: Fault kinds that exercise the membership lifecycle (heartbeats +
+#: throttled backfill are armed on install when any is scheduled).
+MEMBERSHIP_KINDS = ("osd_flap", "osd_add", "osd_drain")
 
 #: pause between recovery attempts when the fabric is still partitioned.
 _RECOVER_RETRY_DELAY = 0.25
@@ -127,11 +150,15 @@ class FaultPlan(object):
     @classmethod
     def generate(cls, seed, horizon, num_osds, services=(), osd_crashes=1,
                  partitions=1, service_crashes=1, mds_windows=0,
-                 slow_disks=0, bitrot=0, torn_writes=0):
+                 slow_disks=0, bitrot=0, torn_writes=0, flaps=0,
+                 osd_adds=0, osd_drains=0):
         """A random-but-reproducible plan over ``horizon`` seconds.
 
         Every crash gets a matching restart and every window heals well
         inside the horizon, so a workload outliving the plan converges.
+        ``flaps``/``osd_adds``/``osd_drains`` schedule membership churn
+        (see :data:`MEMBERSHIP_KINDS`); installing such a plan arms the
+        heartbeat prober and the backfill scheduler.
         """
         rng = make_rng(seed, "fault-plan")
         plan = cls(seed)
@@ -185,6 +212,25 @@ class FaultPlan(object):
                 at=horizon * rng.uniform(0.30, 0.65),
                 keep_fraction=rng.uniform(0.25, 0.75),
             )
+        # Membership churn: flaps fire early enough that damping and the
+        # subsequent rejoin settle in-horizon; adds/drains fire mid-run so
+        # backfill migrates remapped objects while the workload mutates.
+        for _ in range(flaps):
+            plan.schedule(
+                "osd_flap",
+                at=horizon * rng.uniform(0.20, 0.45),
+                target=rng.randrange(num_osds),
+                count=2 + rng.randrange(2),
+                period=rng.uniform(0.2, 0.5),
+            )
+        for _ in range(osd_adds):
+            plan.schedule("osd_add", at=horizon * rng.uniform(0.30, 0.55))
+        for _ in range(osd_drains):
+            plan.schedule(
+                "osd_drain",
+                at=horizon * rng.uniform(0.35, 0.60),
+                target=rng.randrange(num_osds),
+            )
         return plan
 
     def end_time(self):
@@ -193,7 +239,15 @@ class FaultPlan(object):
         for action in self.actions:
             if action.at is None:
                 continue
-            end = max(end, action.at + (action.duration or 0.0))
+            window = action.duration or 0.0
+            if action.kind == "osd_flap":
+                # A flap bounces for count down+up periods past its start.
+                window = max(
+                    window,
+                    action.params.get("count", 3)
+                    * 2.0 * action.params.get("period", 0.3),
+                )
+            end = max(end, action.at + window)
         return end
 
     # -- installation ----------------------------------------------------
@@ -215,6 +269,9 @@ class FaultPlan(object):
         world.cluster.arm_faults()
         if any(action.kind in CORRUPTION_KINDS for action in self.actions):
             world.cluster.enable_integrity()
+        if any(action.kind in MEMBERSHIP_KINDS for action in self.actions):
+            world.cluster.start_backfill()
+            world.cluster.monitor.start_heartbeats()
         timed = sorted(
             (action for action in self.actions if action.at is not None),
             key=lambda action: action.at,
@@ -259,11 +316,17 @@ class FaultPlan(object):
         self.metrics.counter(action.kind).add(1)
         if action.kind == "osd_crash":
             cluster.osds[action.target].crash()
-            cluster.monitor.mark_down(action.target)
+            # With heartbeats armed the monitor detects the silence
+            # itself; the oracle mark_down is the legacy-only shortcut.
+            if not cluster.monitor.heartbeats_enabled:
+                cluster.monitor.mark_down(action.target)
         elif action.kind == "osd_restart":
             cluster.osds[action.target].restart()
-            cluster.monitor.mark_up(action.target)
-            yield from self._recover()
+            if not cluster.monitor.heartbeats_enabled:
+                cluster.monitor.mark_up(action.target)
+                yield from self._recover()
+            # else: the prober rejoins the responding OSD (flap-damped)
+            # and the backfill scheduler re-replicates what it missed.
         elif action.kind == "disk_slow":
             factor = action.params.get("factor", 4.0)
             cluster.osds[action.target].device.set_slow_factor(factor)
@@ -287,6 +350,22 @@ class FaultPlan(object):
                 world.sim.spawn(self._heal(action), name="fault-heal")
         elif action.kind == "service_crash":
             self._services[action.target].crash()
+        elif action.kind == "osd_flap":
+            world.sim.spawn(self._flap(action), name="fault-flap")
+        elif action.kind == "osd_add":
+            cluster.add_osd()
+        elif action.kind == "osd_drain":
+            if action.target in cluster.crush:
+                try:
+                    cluster.drain_osd(action.target)
+                except ConfigError:
+                    # Draining would drop capacity below the replica
+                    # count (e.g. a concurrent drain got there first).
+                    self.metrics.counter("drain_noop").add(1)
+                    self._log(action, "noop")
+            else:
+                self.metrics.counter("drain_noop").add(1)
+                self._log(action, "noop")
         elif action.kind == "flusher_stall":
             kernel = world.kernel_for(world.machine)
             kernel.writeback.stall(action.duration or 1.0)
@@ -357,6 +436,26 @@ class FaultPlan(object):
             return None
         candidates.sort()
         return candidates[rng.randrange(len(candidates))]
+
+    def _flap(self, action):
+        """Bounce one OSD down/up repeatedly (the flap-damping fodder)."""
+        world = self._world
+        cluster = world.cluster
+        osd = cluster.osds[action.target]
+        monitor = cluster.monitor
+        count = action.params.get("count", 3)
+        period = action.params.get("period", 0.3)
+        for _ in range(count):
+            if not osd.crashed:
+                osd.crash()
+                if not monitor.heartbeats_enabled:
+                    monitor.mark_down(action.target)
+            yield world.sim.timeout(period)
+            osd.restart()
+            if not monitor.heartbeats_enabled:
+                monitor.mark_up(action.target)
+            yield world.sim.timeout(period)
+        self._log(action, "flap-done")
 
     def _heal(self, action):
         world = self._world

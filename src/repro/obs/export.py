@@ -97,6 +97,7 @@ def merge_profiles(observers):
     """
     observers = [obs for obs in observers if obs is not None]
     lock_rows, steal_rows, dispatch_rows, fold = [], [], [], []
+    recovery_rows = []
     trace_counts = {}
     for index, obs in enumerate(observers):
         tag = "w%d" % index
@@ -112,6 +113,10 @@ def merge_profiles(observers):
             row = dict(row)
             row["world"] = tag
             dispatch_rows.append(row)
+        for row in obs.recovery_profile():
+            row = dict(row)
+            row["world"] = tag
+            recovery_rows.append(row)
         for (cat, name), count in obs.summary():
             key = (cat, name)
             trace_counts[key] = trace_counts.get(key, 0) + count
@@ -121,6 +126,7 @@ def merge_profiles(observers):
         "lock_contention": lock_rows,
         "core_steal": steal_rows,
         "dispatch": dispatch_rows,
+        "recovery": recovery_rows,
         "trace_summary": [
             {"category": cat, "name": name, "count": count}
             for (cat, name), count in sorted(

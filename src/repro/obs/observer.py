@@ -448,6 +448,34 @@ class Observer(object):
             })
         return rows
 
+    def recovery_profile(self):
+        """Membership/backfill recovery rows from the ``recovery`` scope.
+
+        One row per metric, counters first (their running totals), then
+        gauges (final value plus high-water mark): map-epoch bumps and
+        client map refreshes, EOLDEPOCH rejects, backfill bytes/pushes/
+        trims and budget deferrals, degraded/misplaced object gauges.
+        Empty when the membership lifecycle never armed.
+        """
+        registry = self._scopes.get("recovery")
+        if registry is None:
+            return []
+        rows = []
+        for name in sorted(registry.counters):
+            rows.append({
+                "metric": name,
+                "value": registry.counters[name].value,
+                "high_water": None,
+            })
+        for name in sorted(registry.gauges):
+            gauge = registry.gauges[name]
+            rows.append({
+                "metric": name,
+                "value": gauge.value,
+                "high_water": gauge.high_water,
+            })
+        return rows
+
     def fold(self):
         """Flamegraph-style folded stacks from the completed spans.
 
@@ -482,6 +510,7 @@ class Observer(object):
             "lock_contention": self.lock_table(),
             "core_steal": self.core_steal_profile(),
             "dispatch": self.dispatch_profile(),
+            "recovery": self.recovery_profile(),
             "cpu_by_core": {
                 core: dict(sorted(threads.items()))
                 for core, threads in sorted(self.cpu_profile().items())

@@ -8,6 +8,7 @@ __all__ = [
     "format_lock_table",
     "format_core_steal",
     "format_dispatch_table",
+    "format_recovery_table",
     "format_trace_summary",
 ]
 
@@ -100,6 +101,29 @@ def format_dispatch_table(rows):
             "%.2f" % row["mean"],
             row["max"],
             row["inflight_hw"],
+        ])
+    return _render(headers, body)
+
+
+def format_recovery_table(rows):
+    """Render recovery rows (dicts from ``Observer.recovery_profile``).
+
+    Counters show their totals; gauges additionally show the high-water
+    mark (``-`` for counters, which have none).
+    """
+    if not rows:
+        return "(membership lifecycle never armed)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "metric", "value", "high_water",
+    ]
+    body = []
+    for row in rows:
+        high = row.get("high_water")
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row["metric"],
+            row["value"],
+            "-" if high is None else high,
         ])
     return _render(headers, body)
 

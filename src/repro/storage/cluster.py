@@ -15,6 +15,7 @@ from repro.common.errors import (
     DataCorrupt,
     DataUnavailable,
     InvalidArgument,
+    OldEpoch,
     OpTimeout,
 )
 from repro.metrics import MetricSet
@@ -43,6 +44,17 @@ class CephCluster(object):
         self._next_client_id = 1
         self._faults_armed = False
         self._integrity_armed = False
+        #: membership lifecycle armed (heartbeats, backfill, or a CRUSH
+        #: mutation): resilient ops stamp their osdmap epoch and resolve
+        #: placement from the client-side map snapshot below.
+        self._lifecycle_armed = False
+        #: True from the first CRUSH mutation until backfill converges:
+        #: placements may name OSDs that do not hold the bytes yet, so
+        #: the fast read path must not trust ``crush.primary`` blindly.
+        self._remapped = False
+        #: the throttled backfill scheduler, once started (see
+        #: start_backfill); None means the eager recover() era.
+        self.backfill = None
         #: objects with no verified-clean replica left; reads raise
         #: DataCorrupt until scrub or a fresh write clears the entry.
         self.quarantined = set()
@@ -71,6 +83,11 @@ class CephCluster(object):
         #: backing OSD (including silent fault injection) changes the
         #: epoch and invalidates the entry. See peek().
         self._peek_memo = {}
+        #: the client-side osdmap snapshot resilient ops resolve against
+        #: and stamp RPCs with. Deliberately NOT refreshed on every
+        #: monitor bump — only on retry boundaries (_refresh_map), which
+        #: is what makes an OSD's EOLDEPOCH reject observable.
+        self._osdmap = self.monitor.get_map()
 
     @property
     def degraded(self):
@@ -107,12 +124,81 @@ class CephCluster(object):
     def integrity_armed(self):
         return self._integrity_armed
 
+    def arm_lifecycle(self):
+        """Arm the membership lifecycle: epoch-stamped resilient ops.
+
+        Called by :meth:`start_backfill`, the monitor's heartbeat starter
+        and the CRUSH mutators. Like :meth:`arm_faults`, never invoked on
+        the fault-free fast path, so lifecycle-off runs keep the exact
+        pre-lifecycle event schedule.
+        """
+        self._lifecycle_armed = True
+        self.monitor.lifecycle = True
+        self._osdmap = self.monitor.get_map()
+
+    def start_backfill(self, **kwargs):
+        """Create (if needed) and start the throttled backfill scheduler."""
+        from repro.storage.backfill import BackfillScheduler
+        if self.backfill is None:
+            self.backfill = BackfillScheduler(self, **kwargs)
+        self.arm_lifecycle()
+        self.backfill.start()
+        return self.backfill
+
+    def add_osd(self, weight=1.0, backfill=True):
+        """Grow the cluster by one OSD at runtime; returns the new OSD.
+
+        The CRUSH mutation remaps a weight-proportional slice of objects
+        onto the newcomer; the map epoch bumps so in-flight clients get
+        EOLDEPOCH'd into refreshing, and backfill (started unless
+        ``backfill=False``) materialises the remapped objects before
+        trimming the copies they left behind.
+        """
+        osd_id = self.crush.add_device(osd_id=len(self.osds), weight=weight)
+        osd = Osd(self.sim, osd_id, self.costs)
+        osd.verify_enabled = self._integrity_armed
+        self.osds.append(osd)
+        self.arm_lifecycle()
+        self._remapped = True
+        self.monitor.note_crush_change("osd_add")
+        if backfill:
+            self.start_backfill()
+        return osd
+
+    def drain_osd(self, osd_id, backfill=True):
+        """Remove an OSD from the CRUSH map; its objects remap away.
+
+        The drained OSD keeps serving reads for the objects it still
+        holds until backfill copies them to their new acting sets and
+        trims them here — a graceful drain, not a failure.
+        """
+        self.crush.remove_device(osd_id)
+        self.arm_lifecycle()
+        self._remapped = True
+        self.monitor.note_crush_change("osd_drain")
+        if backfill:
+            self.start_backfill()
+
+    def note_backfill_clean(self):
+        """Backfill converged: placements are materialised everywhere."""
+        self._remapped = False
+
+    def _refresh_map(self):
+        """Adopt the monitor's current osdmap if ours is stale."""
+        if self._osdmap.epoch < self.monitor.epoch:
+            self._osdmap = self.monitor.get_map()
+            self.metrics.counter("map_refreshes").add(1)
+            obs = self.sim.observer
+            if obs is not None:
+                obs.metrics("recovery").counter("map_refreshes").add(1)
+
     @property
     def resilient(self):
         """True when ops must go through the retry/timeout machinery."""
         return (
             self._faults_armed
             or self._integrity_armed
+            or self._lifecycle_armed
             or self.degraded
             or not self.mds.available
             or any(osd.crashed for osd in self.osds)
@@ -170,6 +256,10 @@ class CephCluster(object):
                                error=type(last_err).__name__)
                 yield self.sim.timeout(delay)
                 delay = min(delay * 2.0, self.costs.retry_backoff_max)
+                if self._lifecycle_armed:
+                    # Epoch-aware resend: refresh the osdmap snapshot so
+                    # resolve() re-resolves against current membership.
+                    self._refresh_map()
             try:
                 report_osd, gen = resolve()
             except RETRYABLE as err:
@@ -187,6 +277,17 @@ class CephCluster(object):
                 last_err = OpTimeout("%s timed out" % what)
                 self.metrics.counter("op_timeouts").add(1)
                 self.metrics.counter("op_timeouts_%s" % what).add(1)
+            if isinstance(last_err, OldEpoch):
+                # The OSD holds a newer map than the stamp we sent; no
+                # blame — refresh immediately so the next attempt (after
+                # its backoff) resolves placement from current membership.
+                self.metrics.counter("stale_map_rejects").add(1)
+                obs = self.sim.observer
+                if obs is not None:
+                    obs.metrics("recovery").counter(
+                        "stale_map_rejects"
+                    ).add(1)
+                self._refresh_map()
             if isinstance(last_err, OpTimeout):
                 blame = getattr(last_err, "osd_id", report_osd)
                 if blame is not None:
@@ -205,7 +306,8 @@ class CephCluster(object):
         for osd in self.osds:
             if key in osd._objects:
                 stored = True
-                if not osd.crashed and self.monitor.is_up(osd.osd_id):
+                if not osd.crashed and self.monitor.is_up(osd.osd_id) \
+                        and not self.monitor.is_stale(osd.osd_id, key):
                     return False
         return stored
 
@@ -224,27 +326,55 @@ class CephCluster(object):
             if (key in osd._objects
                     or osd.osd_id in self.crush.placement(ino, index)):
                 self.monitor.record_stale(osd.osd_id, key)
+        if self._lifecycle_armed and self._remapped:
+            # Remapping leaves live copies outside the acting set (on a
+            # drained OSD, or stranded by a straw reshuffle). The write
+            # that just landed on the acting members makes those copies
+            # outdated: mark them so degraded reads never serve them.
+            # Safe because the write succeeded on every acting member.
+            try:
+                acting = set(self.monitor.acting_set(ino, index))
+            except DataUnavailable:
+                return
+            for osd in self.osds:
+                if osd.osd_id in acting or osd.crashed \
+                        or not self.monitor.is_up(osd.osd_id):
+                    continue
+                if key in osd._objects:
+                    self.monitor.record_stale(osd.osd_id, key)
 
-    def _read_target(self, ino, index, exclude=()):
+    def _read_target(self, ino, index, exclude=(), osdmap=None):
         """The OSD id to read an object from, or ``None`` when no live
         OSD can serve it.
 
         Honours failures (degraded reads fall back to any live holder)
         and skips ``exclude`` (replicas already rejected by checksum
-        verification). The hole fallback — no live OSD stores the object
-        — picks a live, non-crashed acting member so the read returns
-        zeros; it never targets a dead daemon just because CRUSH named
-        it, which would be a doomed RPC (the caller surfaces
-        :class:`DataUnavailable` instead).
+        verification) as well as known-stale copies (a rejoined OSD must
+        not serve bytes a write superseded while it was away). The hole
+        fallback — no live OSD stores the object — picks a live,
+        non-crashed acting member so the read returns zeros; it never
+        targets a dead daemon just because CRUSH named it, which would be
+        a doomed RPC (the caller surfaces :class:`DataUnavailable`
+        instead). With ``osdmap`` given, placement resolves against that
+        snapshot (the epoch-stamped lifecycle path).
         """
-        if not self.degraded and not exclude:
-            return self.crush.primary(ino, index)
-        acting = self.monitor.acting_set(ino, index)
+        if not self.degraded and not self._remapped and not exclude:
+            primary = self.crush.primary(ino, index)
+            if not (self._lifecycle_armed
+                    and self.monitor.is_stale(primary, (ino, index))):
+                return primary
+            # The primary rejoined with a known-stale copy that backfill
+            # has not refreshed yet: fall through to a current holder.
+        monitor = self.monitor
+        if osdmap is None:
+            osdmap = monitor.get_map()
+        acting = osdmap.acting_set(ino, index)
         for osd_id in acting:
             if osd_id not in exclude \
-                    and (ino, index) in self.osds[osd_id]._objects:
+                    and (ino, index) in self.osds[osd_id]._objects \
+                    and not monitor.is_stale(osd_id, (ino, index)):
                 return osd_id
-        for osd_id in self.monitor.holders(ino, index):
+        for osd_id in monitor.holders(ino, index):
             if osd_id not in exclude:
                 return osd_id
         for osd_id in acting:
@@ -252,10 +382,12 @@ class CephCluster(object):
                 return osd_id
         return None
 
-    def _write_targets(self, ino, index):
-        if not self.degraded:
+    def _write_targets(self, ino, index, osdmap=None):
+        if not self.degraded and not self._remapped:
             return self.crush.placement(ino, index)
-        return self.monitor.acting_set(ino, index)
+        if osdmap is None:
+            osdmap = self.monitor.get_map()
+        return osdmap.acting_set(ino, index)
 
     # -- object striping -------------------------------------------------
 
@@ -376,17 +508,20 @@ class CephCluster(object):
             return (yield from self._verified_read(ino, index, obj_off, length))
 
         def resolve():
+            osdmap = self._osdmap if self._lifecycle_armed else None
+            epoch = osdmap.epoch if osdmap is not None else None
             if self._object_unreachable(ino, index):
                 raise DataUnavailable(
                     "no live replica of object (%d, %d)" % (ino, index)
                 )
-            osd_id = self._read_target(ino, index)
+            osd_id = self._read_target(ino, index, osdmap=osdmap)
             if osd_id is None:
                 raise DataUnavailable(
                     "no live OSD can serve object (%d, %d)" % (ino, index)
                 )
             gen = self.fabric.rpc(
-                self.osds[osd_id].read(ino, index, obj_off, length),
+                self.osds[osd_id].read(ino, index, obj_off, length,
+                                       epoch=epoch),
                 send_bytes=0,
                 recv_bytes=length,
             )
@@ -411,18 +546,22 @@ class CephCluster(object):
         served_by = [None]
 
         def resolve():
+            osdmap = self._osdmap if self._lifecycle_armed else None
+            epoch = osdmap.epoch if osdmap is not None else None
             if self._object_unreachable(ino, index):
                 raise DataUnavailable(
                     "no live replica of object (%d, %d)" % (ino, index)
                 )
-            osd_id = self._read_target(ino, index, exclude=rejected)
+            osd_id = self._read_target(ino, index, exclude=rejected,
+                                       osdmap=osdmap)
             if osd_id is None:
                 raise DataUnavailable(
                     "no live OSD can serve object (%d, %d)" % (ino, index)
                 )
             served_by[0] = osd_id
             gen = self.fabric.rpc(
-                self.osds[osd_id].read(ino, index, obj_off, length),
+                self.osds[osd_id].read(ino, index, obj_off, length,
+                                       epoch=epoch),
                 send_bytes=0,
                 recv_bytes=length,
             )
@@ -561,13 +700,41 @@ class CephCluster(object):
         self._notify_op()
         return len(data)
 
-    def _push_replica(self, ino, index, obj_off, piece, osd_id):
-        """One fast-path replica push (healthy cluster, no retry race)."""
+    def _push_replica(self, ino, index, obj_off, piece, osd_id, epoch=None):
+        """One replica push (epoch-stamped on the lifecycle path)."""
         return (yield from self.fabric.rpc(
-            self.osds[osd_id].write(ino, index, obj_off, piece),
+            self.osds[osd_id].write(ino, index, obj_off, piece, epoch=epoch),
             send_bytes=len(piece),
             recv_bytes=0,
         ))
+
+    def _pull_before_write(self, ino, index, targets, spans):
+        """Recovery-on-write: materialise the object on copy-less targets.
+
+        A partial overwrite sent to an acting member that never held the
+        object would splice onto zero-fill, and a degraded read served
+        from that member later would return fabricated zeros for the
+        untouched range. Before applying such a write, push the current
+        object from a surviving holder onto every acting target lacking
+        a current copy. ``spans`` is ``[(obj_off, length)]`` of the
+        pieces about to land; a span covering the whole stored object
+        makes the pull unnecessary. Lifecycle path only.
+        """
+        key = (ino, index)
+        monitor = self.monitor
+        holders = set(monitor.holders(ino, index))
+        if not holders:
+            return  # first write anywhere: the object is being created
+        size = max(self.osds[h].object_size(ino, index) for h in holders)
+        if any(off == 0 and off + length >= size for off, length in spans):
+            return  # the write fully redefines the object
+        for osd_id in targets:
+            if osd_id in holders or self.osds[osd_id].crashed:
+                continue
+            source = monitor._pick_source(ino, index)
+            if source is None or source == osd_id:
+                continue
+            yield from monitor._push_object(ino, index, source, osd_id)
 
     def _fanned_replicas(self, pushes):
         """Run replica-push generators concurrently inside one attempt.
@@ -600,11 +767,23 @@ class CephCluster(object):
         serialise the copies behind one slow OSD.
         """
         def resolve():
-            targets = self._write_targets(ino, index)
+            osdmap = self._osdmap if self._lifecycle_armed else None
+            epoch = osdmap.epoch if osdmap is not None else None
+            targets = self._write_targets(ino, index, osdmap=osdmap)
+            if len(targets) < self.costs.pool_min_size:
+                raise DataUnavailable(
+                    "acting set of (%d, %d) below min_size %d"
+                    % (ino, index, self.costs.pool_min_size)
+                )
 
             def attempt():
+                if osdmap is not None:
+                    yield from self._pull_before_write(
+                        ino, index, targets, [(obj_off, len(piece))]
+                    )
                 yield from self._fanned_replicas([
-                    self._push_replica(ino, index, obj_off, piece, osd_id)
+                    self._push_replica(ino, index, obj_off, piece, osd_id,
+                                       epoch=epoch)
                     for osd_id in targets
                 ])
                 return len(piece)
@@ -665,11 +844,11 @@ class CephCluster(object):
         self._notify_op()
         return total
 
-    def _push_vector(self, ino, osd_id, pieces):
-        """One fast-path vectored push: many pieces, one RPC, one commit."""
+    def _push_vector(self, ino, osd_id, pieces, epoch=None):
+        """One vectored push: many pieces, one RPC, one commit."""
         nbytes = sum(len(piece) for _index, _off, piece in pieces)
         return (yield from self.fabric.rpc(
-            self.osds[osd_id].write_vector(ino, pieces),
+            self.osds[osd_id].write_vector(ino, pieces, epoch=epoch),
             send_bytes=nbytes,
             recv_bytes=0,
         ))
@@ -680,11 +859,23 @@ class CephCluster(object):
         nbytes = sum(len(piece) for _off, piece in pieces)
 
         def resolve():
-            targets = self._write_targets(ino, index)
+            osdmap = self._osdmap if self._lifecycle_armed else None
+            epoch = osdmap.epoch if osdmap is not None else None
+            targets = self._write_targets(ino, index, osdmap=osdmap)
+            if len(targets) < self.costs.pool_min_size:
+                raise DataUnavailable(
+                    "acting set of (%d, %d) below min_size %d"
+                    % (ino, index, self.costs.pool_min_size)
+                )
 
             def attempt():
+                if osdmap is not None:
+                    yield from self._pull_before_write(
+                        ino, index, targets,
+                        [(obj_off, len(piece)) for obj_off, piece in pieces],
+                    )
                 yield from self._fanned_replicas([
-                    self._push_vector(ino, osd_id, chunk)
+                    self._push_vector(ino, osd_id, chunk, epoch=epoch)
                     for osd_id in targets
                 ])
                 return nbytes

@@ -5,9 +5,25 @@ function; clients compute placements locally, so no directory service sits
 on the data path. We reproduce that property with a stable hash over
 ``(ino, object_index, replica)``: any client maps an object to the same
 primary and replica OSDs without talking to a server.
+
+The map is mutable: devices can be added, removed and reweighted at
+runtime (``add_device`` / ``remove_device`` / ``reweight``), which is how
+the cluster grows and drains under the membership lifecycle. Two placement
+modes keep both worlds honest:
+
+* **Pristine maps** (never mutated) use the original collision-retry hash
+  walk over a fixed device count. Byte-for-byte identical placements with
+  the historical implementation — the committed schedule-fingerprint
+  baselines and placement-sensitive tests depend on this.
+* **Mutated maps** switch to straw2-style weighted rendezvous hashing:
+  each device draws an independent "straw" ``log(u) / weight`` per object
+  and the longest straws win. Adding, removing or reweighting one device
+  only moves the objects that device wins or loses — the minimal-remapping
+  property CRUSH's straw2 bucket was designed for.
 """
 
 import hashlib
+import math
 
 from repro.common.errors import ConfigError
 
@@ -15,7 +31,7 @@ __all__ = ["CrushMap"]
 
 
 class CrushMap(object):
-    """Deterministic placement of objects onto ``num_osds`` devices."""
+    """Deterministic placement of objects onto weighted devices."""
 
     def __init__(self, num_osds, replicas=1):
         if num_osds <= 0:
@@ -24,28 +40,120 @@ class CrushMap(object):
             raise ConfigError(
                 "replicas=%d impossible with %d OSDs" % (replicas, num_osds)
             )
-        self.num_osds = num_osds
         self.replicas = replicas
+        #: device id -> weight; insertion order is the historical id order
+        self._devices = {osd_id: 1.0 for osd_id in range(num_osds)}
+        #: modulus of the legacy hash walk. Frozen at construction: the
+        #: pristine placement must not shift when devices are added later.
+        self._slots = num_osds
+        #: False until the first mutation; gates the placement mode
+        self._mutated = False
+        #: bumped on every mutation (the monitor folds it into its epoch)
+        self.map_version = 0
+
+    # -- device set ----------------------------------------------------
+
+    @property
+    def num_osds(self):
+        return len(self._devices)
+
+    def __contains__(self, osd_id):
+        return osd_id in self._devices
+
+    def devices(self):
+        """Device ids currently in the map (positive weight or not)."""
+        return list(self._devices)
+
+    def weight(self, osd_id):
+        return self._devices.get(osd_id, 0.0)
+
+    def _mutate(self):
+        self._mutated = True
+        self.map_version += 1
+
+    def _check_capacity(self, exclude=None):
+        live = sum(
+            1 for osd_id, weight in self._devices.items()
+            if weight > 0 and osd_id != exclude
+        )
+        if live < self.replicas:
+            raise ConfigError(
+                "mutation would leave %d weighted devices for %d replicas"
+                % (live, self.replicas)
+            )
+
+    def add_device(self, osd_id=None, weight=1.0):
+        """Add a device; returns its id (next free id when omitted)."""
+        if weight <= 0:
+            raise ConfigError("device weight must be positive")
+        if osd_id is None:
+            osd_id = max(self._devices, default=-1) + 1
+        if osd_id in self._devices:
+            raise ConfigError("device %d already mapped" % osd_id)
+        self._devices[osd_id] = float(weight)
+        self._mutate()
+        return osd_id
+
+    def remove_device(self, osd_id):
+        """Remove a device; its objects remap onto the survivors."""
+        if osd_id not in self._devices:
+            raise ConfigError("device %d not in the map" % osd_id)
+        self._check_capacity(exclude=osd_id)
+        del self._devices[osd_id]
+        self._mutate()
+
+    def reweight(self, osd_id, weight):
+        """Change a device's weight; 0 drains it without removing the id."""
+        if osd_id not in self._devices:
+            raise ConfigError("device %d not in the map" % osd_id)
+        if weight < 0:
+            raise ConfigError("device weight must be non-negative")
+        if weight == 0:
+            self._check_capacity(exclude=osd_id)
+        self._devices[osd_id] = float(weight)
+        self._mutate()
+
+    # -- placement ------------------------------------------------------
 
     def _hash(self, ino, index, attempt):
         payload = ("%d/%d/%d" % (ino, index, attempt)).encode("utf-8")
         digest = hashlib.blake2b(payload, digest_size=8).digest()
         return int.from_bytes(digest, "big")
 
+    def _straw(self, ino, index, osd_id, weight):
+        payload = ("%d/%d/dev%d" % (ino, index, osd_id)).encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        u = (int.from_bytes(digest, "big") + 1) / 2.0 ** 64
+        # log(u) is negative; dividing by a larger weight shrinks its
+        # magnitude, so heavier devices draw longer (less negative) straws.
+        return math.log(u) / weight
+
+    def _straw_order(self, ino, index):
+        scored = [
+            (self._straw(ino, index, osd_id, weight), osd_id)
+            for osd_id, weight in self._devices.items()
+            if weight > 0
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [osd_id for _, osd_id in scored]
+
     def placement(self, ino, index):
         """The OSD ids holding object ``(ino, index)``, primary first.
 
-        Replica choices are distinct OSDs, selected by rehashing until a
-        fresh device appears (CRUSH's collision-retry behaviour).
+        On a pristine map replica choices rehash until a fresh device
+        appears (CRUSH's collision-retry behaviour); after a mutation the
+        straw2 rendezvous order is used instead.
         """
-        chosen = []
-        attempt = 0
-        while len(chosen) < self.replicas:
-            osd = self._hash(ino, index, attempt) % self.num_osds
-            attempt += 1
-            if osd not in chosen:
-                chosen.append(osd)
-        return chosen
+        if not self._mutated:
+            chosen = []
+            attempt = 0
+            while len(chosen) < self.replicas:
+                osd = self._hash(ino, index, attempt) % self._slots
+                attempt += 1
+                if osd not in chosen:
+                    chosen.append(osd)
+            return chosen
+        return self._straw_order(ino, index)[:self.replicas]
 
     def primary(self, ino, index):
         """The primary OSD for an object."""

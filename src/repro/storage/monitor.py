@@ -10,6 +10,20 @@ every change, and lets the placement logic route around failed devices:
 * :meth:`recover` re-replicates under-replicated objects onto their new
   acting members, paying real network and device costs.
 
+With :meth:`start_heartbeats` running, the monitor drives the full Ceph
+failure lifecycle instead of reacting to direct ``mark_down`` calls::
+
+    up --(missed probes / report quorum)--> suspect --> down
+    down --(osd_out_interval elapses)-----> out   (backfill re-replicates)
+    down --(probe answers)----------------> up    (flap damping may hold
+                                                   a bouncy OSD back)
+
+Every transition bumps the osdmap epoch and publishes an immutable
+:class:`OsdMap` snapshot to subscribers; OSDs learn the epoch too and
+reject data-path ops stamped with an older one (the EOLDEPOCH analogue),
+forcing clients to refresh before retrying. None of this machinery runs
+— or perturbs the event schedule — until something arms the lifecycle.
+
 The paper leaves backend fault tolerance to future work (§9) — this
 module makes the substrate whole enough to test that direction.
 """
@@ -17,7 +31,61 @@ module makes the substrate whole enough to test that direction.
 from repro.common.errors import DataUnavailable
 from repro.metrics import MetricSet
 
-__all__ = ["Monitor"]
+__all__ = ["Monitor", "OsdMap"]
+
+
+class OsdMap(object):
+    """An immutable published view of cluster membership at one epoch.
+
+    Clients resolve placement against a snapshot and stamp data-path RPCs
+    with its ``epoch``; OSDs holding a newer map reject the op, which is
+    what forces a refresh. ``crush`` is a live reference (the map object
+    mutates in place), so ``crush_version`` records the placement
+    generation this snapshot was cut at.
+    """
+
+    __slots__ = ("epoch", "down", "out", "crush", "crush_version")
+
+    def __init__(self, epoch, down, out, crush):
+        self.epoch = epoch
+        self.down = frozenset(down)
+        self.out = frozenset(out)
+        self.crush = crush
+        self.crush_version = crush.map_version
+
+    def is_up(self, osd_id):
+        return osd_id not in self.down
+
+    def acting_set(self, ino, index):
+        """The live OSDs responsible for an object, primary first.
+
+        On a pristine map this is the exact historical CRUSH retry walk
+        (bounded at 64 rehash attempts) skipping down devices; after a
+        mutation the straw2 preference order is filtered instead.
+        """
+        crush = self.crush
+        if not crush._mutated:
+            chosen = []
+            attempt = 0
+            while len(chosen) < crush.replicas and attempt < 64:
+                osd_id = crush._hash(ino, index, attempt) % crush._slots
+                attempt += 1
+                if osd_id in chosen or osd_id in self.down:
+                    continue
+                chosen.append(osd_id)
+        else:
+            chosen = [
+                osd_id for osd_id in crush._straw_order(ino, index)
+                if osd_id not in self.down
+            ][:crush.replicas]
+        if not chosen:
+            raise DataUnavailable("no OSD available for (%d,%d)" % (ino, index))
+        return chosen
+
+    def __repr__(self):
+        return "<OsdMap e%d down=%s out=%s>" % (
+            self.epoch, sorted(self.down), sorted(self.out)
+        )
 
 
 class Monitor(object):
@@ -26,15 +94,74 @@ class Monitor(object):
     def __init__(self, cluster):
         self.cluster = cluster
         self.epoch = 1
-        self._down = set()
-        self._failure_reports = {}  # osd_id -> count of client op timeouts
+        self._down = set()       # down OR out (out is a subset)
+        self._out = set()
+        self._suspect = set()
+        self._failure_reports = {}  # osd_id -> [report times] in the window
         self._stale = {}  # osd_id -> keys rewritten while that OSD was dead
         self.metrics = MetricSet("monitor")
+        #: True once heartbeats run; gates suspect/out/flap handling
+        self.heartbeats_enabled = False
+        #: True once any lifecycle feature armed; epoch pushes to OSDs and
+        #: map snapshots only matter then
+        self.lifecycle = False
+        self._down_since = {}     # osd_id -> sim time of mark_down
+        self._down_reason = {}    # osd_id -> "admin" | "heartbeat" | "reports"
+        self._flap_times = {}     # osd_id -> [times of down->up transitions]
+        self._probation = {}      # osd_id -> earliest rejoin time
+        self._hb_misses = {}      # osd_id -> consecutive missed probes
+        self._heartbeat_proc = None
+        self._subscribers = []
+        self._map = OsdMap(self.epoch, self._down, self._out,
+                           self.cluster.crush)
+
+    # -- map publication -------------------------------------------------
+
+    def get_map(self):
+        """The current immutable :class:`OsdMap` snapshot."""
+        return self._map
+
+    def subscribe(self, callback):
+        """Call ``callback(osdmap)`` after every epoch bump (pure only:
+        subscribers run inline inside the bump, never yield)."""
+        self._subscribers.append(callback)
+
+    def _bump_epoch(self, event, osd_id=None):
+        self.epoch += 1
+        self._map = OsdMap(self.epoch, self._down, self._out,
+                           self.cluster.crush)
+        trace = {"epoch": self.epoch}
+        if osd_id is not None:
+            trace["osd"] = osd_id
+        self.cluster.sim.trace("mon", event, **trace)
+        self.metrics.counter("epoch_bumps").add(1)
+        observer = self.cluster.sim.observer
+        if observer is not None:
+            scope = observer.metrics("recovery")
+            scope.counter("map_epoch_bumps").add(1)
+            scope.gauge("map_epoch").set(self.epoch)
+        if self.lifecycle:
+            # OSDs learn the new epoch; ops stamped older get rejected.
+            for osd in self.cluster.osds:
+                osd.map_epoch = self.epoch
+        for callback in self._subscribers:
+            callback(self._map)
+
+    def note_crush_change(self, event):
+        """A CRUSH mutation (add/drain/reweight) is a map change too."""
+        self.lifecycle = True
+        self._bump_epoch(event)
 
     # -- liveness --------------------------------------------------------
 
     def is_up(self, osd_id):
         return osd_id not in self._down
+
+    def is_out(self, osd_id):
+        return osd_id in self._out
+
+    def is_suspect(self, osd_id):
+        return osd_id in self._suspect
 
     def up_osds(self):
         return [
@@ -42,77 +169,215 @@ class Monitor(object):
             if self.is_up(osd_id)
         ]
 
-    def mark_down(self, osd_id):
+    def has_failures(self):
+        """Any OSD currently down, out or under suspicion?"""
+        return bool(self._down or self._suspect)
+
+    def mark_down(self, osd_id, reason="admin"):
         """Declare an OSD failed; future placements route around it."""
+        self._suspect.discard(osd_id)
         if osd_id not in self._down:
             self._down.add(osd_id)
-            self.epoch += 1
-            self.cluster.sim.trace("mon", "osd_down", osd=osd_id,
-                                   epoch=self.epoch)
+            self._down_since[osd_id] = self.cluster.sim.now
+            self._down_reason[osd_id] = reason
             self.metrics.counter("osd_failures").add(1)
+            self._bump_epoch("osd_down", osd_id=osd_id)
+
+    def mark_out(self, osd_id):
+        """Down long enough: stop waiting, let backfill re-replicate."""
+        if osd_id in self._down and osd_id not in self._out:
+            self._out.add(osd_id)
+            self.metrics.counter("osd_out").add(1)
+            self._bump_epoch("osd_out", osd_id=osd_id)
+
+    def mark_suspect(self, osd_id):
+        """Blamed but unconfirmed; the next missed probe confirms down."""
+        if osd_id not in self._down:
+            self._suspect.add(osd_id)
 
     def mark_up(self, osd_id):
         """Bring an OSD back; its device contents decide what it holds.
 
-        Copies of objects that were rewritten while the OSD was dead are
-        dropped first (the pg-log/backfill analogue), so a returning OSD
-        never serves stale bytes; :meth:`recover` then re-replicates.
+        Without the lifecycle armed, copies of objects rewritten while
+        the OSD was dead are dropped immediately (the historical eager
+        analogue of backfill). Under the lifecycle the stale records are
+        *retained* — the rejoined OSD is excluded from serving those
+        objects until the backfill scheduler pushes fresh bytes and
+        clears the record. With heartbeats running, a bouncy OSD is also
+        held in probation (flap damping) instead of rejoining instantly.
         """
         self._failure_reports.pop(osd_id, None)
-        stale = self._stale.pop(osd_id, ())
-        for ino, index in stale:
-            self.cluster.osds[osd_id].drop_object(ino, index)
-        if stale:
-            self.metrics.counter("stale_dropped").add(len(stale))
-        if osd_id in self._down:
-            self._down.discard(osd_id)
-            self.epoch += 1
-            self.cluster.sim.trace("mon", "osd_up", osd=osd_id,
-                                   epoch=self.epoch)
+        self._suspect.discard(osd_id)
+        self._hb_misses.pop(osd_id, None)
+        if not self.lifecycle:
+            stale = self._stale.pop(osd_id, ())
+            for ino, index in stale:
+                self.cluster.osds[osd_id].drop_object(ino, index)
+            if stale:
+                self.metrics.counter("stale_dropped").add(len(stale))
+        if osd_id not in self._down:
+            return
+        if self.heartbeats_enabled and self._flapping(osd_id):
+            # Flap damping: the rejoin waits out a probation instead of
+            # thrashing the map with another down->up->down cycle.
+            now = self.cluster.sim.now
+            probation = now + self.cluster.costs.flap_probation
+            if self._probation.get(osd_id, 0.0) < probation:
+                self._probation[osd_id] = probation
+                self.metrics.counter("flaps_damped").add(1)
+                self.cluster.sim.trace("mon", "flap_damped", osd=osd_id,
+                                       until=probation)
+            return
+        self._complete_up(osd_id)
+
+    def _complete_up(self, osd_id):
+        self._down.discard(osd_id)
+        self._out.discard(osd_id)
+        self._down_since.pop(osd_id, None)
+        self._down_reason.pop(osd_id, None)
+        self._probation.pop(osd_id, None)
+        self._record_flap(osd_id)
+        self._bump_epoch("osd_up", osd_id=osd_id)
+
+    def _record_flap(self, osd_id):
+        now = self.cluster.sim.now
+        window = self.cluster.costs.flap_window
+        times = [
+            t for t in self._flap_times.get(osd_id, []) if now - t <= window
+        ]
+        times.append(now)
+        self._flap_times[osd_id] = times
+
+    def _flapping(self, osd_id):
+        now = self.cluster.sim.now
+        window = self.cluster.costs.flap_window
+        times = [
+            t for t in self._flap_times.get(osd_id, []) if now - t <= window
+        ]
+        return len(times) >= self.cluster.costs.flap_threshold
 
     def report_failure(self, osd_id):
-        """Client op-timeout report; enough reports mark the OSD down.
+        """Client op-timeout report; enough reports act on the OSD.
 
-        Mirrors the Ceph failure-report path: the monitor declares an OSD
-        down only once ``osd_failure_reports`` independent op timeouts
-        accumulated, so one lost message never reshapes the map.
+        Mirrors the Ceph failure-report path: reports against one OSD are
+        counted over a sliding ``failure_report_window`` and only a
+        quorum of ``osd_failure_reports`` within it acts — one transient
+        blame expires harmlessly. With heartbeats running the quorum
+        makes the OSD *suspect* (the next missed probe confirms down);
+        without them it marks the OSD down directly, as before.
         """
         if osd_id in self._down:
             return
-        count = self._failure_reports.get(osd_id, 0) + 1
-        self._failure_reports[osd_id] = count
-        if count >= self.cluster.costs.osd_failure_reports:
-            self._failure_reports.pop(osd_id, None)
-            self.mark_down(osd_id)
+        now = self.cluster.sim.now
+        window = self.cluster.costs.failure_report_window
+        times = [
+            t for t in self._failure_reports.get(osd_id, [])
+            if now - t <= window
+        ]
+        times.append(now)
+        self._failure_reports[osd_id] = times
+        if len(times) < self.cluster.costs.osd_failure_reports:
+            return
+        self._failure_reports.pop(osd_id, None)
+        if self.heartbeats_enabled:
+            self.mark_suspect(osd_id)
+        else:
+            self.mark_down(osd_id, reason="reports")
 
     def record_stale(self, osd_id, key):
         """Remember that ``key`` was rewritten while ``osd_id`` was dead."""
         self._stale.setdefault(osd_id, set()).add(key)
 
+    def is_stale(self, osd_id, key):
+        """Does ``osd_id`` hold a known-stale copy of ``key``?"""
+        return key in self._stale.get(osd_id, ())
+
+    def clear_stale(self, osd_id, key):
+        """Fresh bytes landed on ``osd_id``; the copy is current again."""
+        stale = self._stale.get(osd_id)
+        if stale is not None:
+            stale.discard(key)
+            if not stale:
+                del self._stale[osd_id]
+
+    # -- heartbeats ------------------------------------------------------
+
+    def start_heartbeats(self, interval=None):
+        """Spawn the heartbeat prober; arms the failure lifecycle."""
+        if self._heartbeat_proc is not None:
+            return self._heartbeat_proc
+        self.heartbeats_enabled = True
+        self.lifecycle = True
+        self.cluster.arm_lifecycle()
+        if interval is None:
+            interval = self.cluster.costs.heartbeat_interval
+        self._heartbeat_proc = self.cluster.sim.spawn(
+            self._heartbeat_loop(interval), name="mon-heartbeat"
+        )
+        return self._heartbeat_proc
+
+    def _heartbeat_loop(self, interval):
+        sim = self.cluster.sim
+        costs = self.cluster.costs
+        while True:
+            yield sim.timeout(interval)
+            for osd in self.cluster.osds:
+                osd_id = osd.osd_id
+                if osd.crashed:
+                    if osd_id in self._down:
+                        continue
+                    misses = self._hb_misses.get(osd_id, 0) + 1
+                    self._hb_misses[osd_id] = misses
+                    # A suspect OSD (blamed by reports) is confirmed on
+                    # the very next miss; a quiet one gets full grace.
+                    grace = 1 if osd_id in self._suspect else \
+                        costs.heartbeat_grace
+                    if misses >= grace:
+                        self._hb_misses.pop(osd_id, None)
+                        self.metrics.counter("heartbeat_failures").add(1)
+                        self.mark_down(osd_id, reason="heartbeat")
+                    continue
+                # The probe answered.
+                self._hb_misses.pop(osd_id, None)
+                self._suspect.discard(osd_id)
+                if osd_id in self._down:
+                    reason = self._down_reason.get(osd_id)
+                    probation = self._probation.get(osd_id)
+                    if probation is not None:
+                        if sim.now >= probation:
+                            self._complete_up(osd_id)
+                        continue
+                    if reason in ("heartbeat", "reports"):
+                        # The daemon answers again; auto-rejoin. Admin
+                        # downs (tests, drains) stay down until mark_up.
+                        self.mark_up(osd_id)
+                    continue
+            # down -> out promotion for OSDs that stayed silent
+            for osd_id in list(self._down):
+                if osd_id in self._out:
+                    continue
+                since = self._down_since.get(osd_id)
+                if since is not None and \
+                        sim.now - since >= costs.osd_out_interval:
+                    self.mark_out(osd_id)
+
     # -- placement under failure ------------------------------------------------
 
     def acting_set(self, ino, index):
         """The live OSDs responsible for an object, primary first."""
-        crush = self.cluster.crush
-        chosen = []
-        attempt = 0
-        # Same CRUSH retry walk, but skipping down devices.
-        while len(chosen) < crush.replicas and attempt < 64:
-            osd_id = crush._hash(ino, index, attempt) % crush.num_osds
-            attempt += 1
-            if osd_id in chosen or not self.is_up(osd_id):
-                continue
-            chosen.append(osd_id)
-        if not chosen:
-            raise DataUnavailable("no OSD available for (%d,%d)" % (ino, index))
-        return chosen
+        return self._map.acting_set(ino, index)
 
     def holders(self, ino, index):
-        """Live OSDs that currently store the object (degraded reads)."""
+        """Live OSDs that currently store a *current* copy of the object.
+
+        Known-stale copies (rewritten while the holder was dead, not yet
+        backfilled) are excluded — a rejoined OSD must not serve them.
+        """
         return [
             osd_id for osd_id in self.up_osds()
-            if self.cluster.osds[osd_id].object_size(ino, index) > 0
-            or (ino, index) in self.cluster.osds[osd_id]._objects
+            if (self.cluster.osds[osd_id].object_size(ino, index) > 0
+                or (ino, index) in self.cluster.osds[osd_id]._objects)
+            and not self.is_stale(osd_id, (ino, index))
         ]
 
     # -- recovery ----------------------------------------------------------------
@@ -132,6 +397,27 @@ class Monitor(object):
                 missing = [m for m in acting if m not in holders]
                 if missing and holders:
                     out.append((ino, index, missing))
+        return out
+
+    def misplaced(self):
+        """Live current copies sitting outside the acting set:
+        [(ino, index, strays)]. Cleaned up by backfill trimming once the
+        acting set holds the object."""
+        out = []
+        seen = set()
+        for osd in self.cluster.osds:
+            for key in osd._objects:
+                if key in seen:
+                    continue
+                seen.add(key)
+                ino, index = key
+                acting = set(self.acting_set(ino, index))
+                strays = [
+                    osd_id for osd_id in self.holders(ino, index)
+                    if osd_id not in acting
+                ]
+                if strays:
+                    out.append((ino, index, strays))
         return out
 
     def _clean_holders(self, ino, index):
@@ -190,6 +476,7 @@ class Monitor(object):
             moved += len(data)
             if source.object_version(ino, index) != version:
                 continue  # a write raced the copy: redo from fresh bytes
+            self.clear_stale(target_id, (ino, index))
             return moved
         self.metrics.counter("push_races_abandoned").add(1)
         return moved
@@ -199,7 +486,9 @@ class Monitor(object):
 
         Copies flow from a surviving holder (preferring verified-clean
         replicas) to each missing acting member over the fabric with full
-        OSD write costs (journal + store).
+        OSD write costs (journal + store). The eager, unthrottled path;
+        :class:`~repro.storage.backfill.BackfillScheduler` is the
+        budgeted lifecycle replacement.
         """
         moved = 0
         for ino, index, missing in self.under_replicated():

@@ -23,7 +23,7 @@ pre-integrity event schedule.
 
 import hashlib
 
-from repro.common.errors import InvalidArgument, OpTimeout
+from repro.common.errors import InvalidArgument, OldEpoch, OpTimeout
 from repro.hw.disk import RamDisk
 from repro.metrics import MetricSet
 from repro.sim.sync import Semaphore
@@ -64,6 +64,10 @@ class Osd(object):
         #: corruption stays invisible to verification until digests catch
         #: it, exactly as before.
         self.store_epoch = 0
+        #: last osdmap epoch the monitor pushed to this OSD. Data-path
+        #: ops stamped with an older epoch are rejected (EOLDEPOCH);
+        #: stays 0 — and the check vacuous — until the lifecycle arms.
+        self.map_epoch = 0
         self.crashed = False
         #: record/check per-chunk digests; armed by enable_integrity()
         self.verify_enabled = False
@@ -137,6 +141,20 @@ class Osd(object):
             # timeout surfaces out of a multi-target write attempt.
             err.osd_id = self.osd_id
             raise err
+
+    def _check_epoch(self, epoch):
+        """Reject an op resolved against an older osdmap (EOLDEPOCH).
+
+        ``epoch is None`` — the unstamped legacy/fast path — always
+        passes; stamped ops must be at least as new as the map the
+        monitor last pushed here. Pure state, no events.
+        """
+        if epoch is not None and epoch < self.map_epoch:
+            self.metrics.counter("epoch_rejects").add(1)
+            raise OldEpoch(
+                "osd %d at e%d rejected op stamped e%d"
+                % (self.osd_id, self.map_epoch, epoch)
+            )
 
     def _enter_op(self):
         """Track one op entering service: inflight gauge + queue depth.
@@ -283,11 +301,12 @@ class Osd(object):
 
     # -- server-side operations (sim generators) -------------------------
 
-    def read(self, ino, index, offset, size):
+    def read(self, ino, index, offset, size, epoch=None):
         """Serve an object read; returns the bytes (b'' for a hole)."""
         if offset < 0 or size < 0:
             raise InvalidArgument("negative offset/size")
         yield from self._check_up()
+        self._check_epoch(epoch)
         started = self.sim.now
         self._enter_op()
         yield self._slots.acquire()
@@ -332,11 +351,12 @@ class Osd(object):
         if self.verify_enabled:
             self._record_digests(key, obj, touch_start, end)
 
-    def write(self, ino, index, offset, data):
+    def write(self, ino, index, offset, data, epoch=None):
         """Apply an object write: journal first, then the data store."""
         if offset < 0:
             raise InvalidArgument("negative offset")
         yield from self._check_up()
+        self._check_epoch(epoch)
         started = self.sim.now
         self._enter_op()
         yield self._slots.acquire()
@@ -358,7 +378,7 @@ class Osd(object):
             ).observe(self.sim.now - started)
         return len(data)
 
-    def write_vector(self, ino, pieces):
+    def write_vector(self, ino, pieces, epoch=None):
         """Apply several extent writes of one file as a single op.
 
         ``pieces`` is ``[(index, obj_off, bytes)]`` — the coalesced dirty
@@ -372,6 +392,7 @@ class Osd(object):
                 raise InvalidArgument("negative offset")
         total = sum(len(data) for _index, _off, data in pieces)
         yield from self._check_up()
+        self._check_epoch(epoch)
         started = self.sim.now
         self._enter_op()
         yield self._slots.acquire()
@@ -395,9 +416,10 @@ class Osd(object):
             ).observe(self.sim.now - started)
         return total
 
-    def truncate(self, ino, index, size):
+    def truncate(self, ino, index, size, epoch=None):
         """Truncate one object (used by file truncation)."""
         yield from self._check_up()
+        self._check_epoch(epoch)
         yield self._slots.acquire()
         try:
             yield self.sim.timeout(self.costs.osd_op)

@@ -16,7 +16,7 @@ reads). A world that never starts it and never injects corruption keeps
 the exact pre-integrity event schedule.
 """
 
-from repro.common.errors import RETRYABLE
+from repro.common.errors import RETRYABLE, DataUnavailable
 from repro.metrics import MetricSet
 
 __all__ = ["ScrubDaemon"]
@@ -155,10 +155,33 @@ class ScrubDaemon(object):
                 return True
         return False
 
+    def _pending_backfill(self, key):
+        """Skip objects the backfill scheduler is still converging.
+
+        While an object is under-replicated its acting set is about to
+        receive a push; scrubbing (and especially reconciling) it now
+        would duplicate backfill's work or fight its version rechecks.
+        The next cycle revisits it once backfill has settled it.
+        """
+        backfill = self.cluster.backfill
+        if backfill is None or not backfill.running:
+            return False
+        ino, index = key
+        monitor = self.cluster.monitor
+        try:
+            acting = monitor.acting_set(ino, index)
+        except DataUnavailable:
+            return True
+        holders = set(monitor.holders(ino, index))
+        return not all(member in holders for member in acting)
+
     def _scrub_object(self, key, deep):
         """Scrub one object across its replicas; returns bad replicas."""
         ino, index = key
         cluster = self.cluster
+        if self._pending_backfill(key):
+            self.metrics.counter("objects_deferred").add(1)
+            return 0
         holders = self._holders(ino, index)
         if not holders:
             return 0

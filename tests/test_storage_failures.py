@@ -180,6 +180,111 @@ def test_recovery_never_resurrects_stale_bytes(sim, costs):
     assert moved > len(old)
 
 
+def test_rejoined_osd_never_serves_stale_reads(sim, costs):
+    """Lifecycle rejoin semantics: a rejoined OSD holding a copy that a
+    write superseded while it was down must not serve it — the stale
+    record is retained until backfill pushes fresh bytes, and every read
+    path (including the non-degraded fast path) excludes the copy."""
+    cluster = make_cluster(sim, costs, replicas=2)
+    cluster.arm_lifecycle()
+    old = b"old" * units.kib(8)
+    new = b"new" * units.kib(8)
+
+    def proc():
+        yield from cluster.write_extent(8, 0, old)
+        victim = cluster.monitor.acting_set(8, 0)[0]  # the primary
+        cluster.osds[victim].crash()
+        cluster.monitor.mark_down(victim)
+        yield from cluster.write_extent(8, 0, new)  # routes around victim
+        cluster.osds[victim].restart()
+        cluster.monitor.mark_up(victim)
+        # not degraded any more: the fast path would hit the primary
+        assert not cluster.degraded
+        data = yield from cluster.read_extent(8, 0, len(new))
+        return victim, data
+
+    victim, data = run(sim, proc())
+    assert data == new, "a rejoined OSD must not serve stale bytes"
+    # the stale copy is still recorded (backfill clears it, not rejoin)
+    assert cluster.monitor.is_stale(victim, (8, 0))
+
+    def backfill_proc():
+        backfill = cluster.start_backfill()
+        done = yield from backfill.drain()
+        data = yield from cluster.read_extent(8, 0, len(new))
+        return done, data
+
+    done, data = run(sim, backfill_proc())
+    assert done and data == new
+    assert not cluster.monitor.is_stale(victim, (8, 0))
+    assert bytes(cluster.osds[victim]._objects[(8, 0)]) == new
+
+
+def test_degraded_partial_write_pulls_object_first(sim, costs):
+    """A partial overwrite landing on an acting member that never held
+    the object must not splice onto zero-fill: the lifecycle write path
+    pulls the full object onto the copy-less target first."""
+    cluster = make_cluster(sim, costs, replicas=2)
+    cluster.arm_lifecycle()
+    base = b"B" * units.kib(64)   # full object
+    patch = b"patch!" * 100       # partial overwrite, offset 0
+
+    def proc():
+        yield from cluster.write_extent(9, 0, base)
+        victim = cluster.monitor.acting_set(9, 0)[0]
+        cluster.osds[victim].crash()
+        cluster.monitor.mark_down(victim)
+        # the acting set now includes a replacement without a copy
+        yield from cluster.write_extent(9, 0, patch)
+        replacement = [
+            osd_id for osd_id in cluster.monitor.acting_set(9, 0)
+            if osd_id != victim
+        ]
+        # every acting member holds the *full* patched object
+        copies = {
+            osd_id: bytes(cluster.osds[osd_id]._objects[(9, 0)])
+            for osd_id in replacement
+        }
+        data = yield from cluster.read_extent(9, 0, len(base))
+        return copies, data
+
+    expected = patch + base[len(patch):]
+    copies, data = run(sim, proc())
+    assert data == expected
+    for osd_id, copy in copies.items():
+        assert copy == expected, \
+            "OSD %d spliced a partial write onto zero-fill" % osd_id
+
+
+def test_backfill_push_racing_inflight_write(sim, costs):
+    """A foreground write landing mid-backfill-push must win: the push
+    re-checks the source version and redoes the copy from fresh bytes."""
+    cluster = make_cluster(sim, costs, replicas=2)
+    old = b"o" * units.kib(64)
+    piece = b"RACER!!!" * 512  # 4 KiB overwrite racing the push
+
+    def proc():
+        yield from cluster.write_extent(10, 0, old)
+        victim = cluster.monitor.acting_set(10, 0)[-1]
+        cluster.osds[victim].crash()
+        cluster.monitor.mark_down(victim)
+        cluster.monitor.mark_out(victim)
+        backfill = cluster.start_backfill()
+        push = sim.spawn(backfill.cycle(), name="backfill-cycle")
+        # let the cycle snapshot its source and start the 64 KiB push,
+        # then land a small write while the copy is in flight
+        yield sim.timeout(1e-5)
+        yield from cluster.write_extent(10, 0, piece)
+        yield sim.all_of([push])
+        yield from backfill.drain()
+        return (yield from cluster.read_extent(10, 0, len(old)))
+
+    expected = piece + old[len(piece):]
+    assert run(sim, proc()) == expected
+    for osd_id in cluster.monitor.holders(10, 0):
+        assert bytes(cluster.osds[osd_id]._objects[(10, 0)]) == expected
+
+
 def test_degraded_flag(sim, costs):
     cluster = make_cluster(sim, costs)
     assert not cluster.degraded
