@@ -1,95 +1,83 @@
 #!/usr/bin/env python
 """Run one chaos cell of the scheduled CI matrix.
 
-Two scenarios:
+Each scenario is a committed experiment spec (``experiments/``):
 
-* ``corruption`` (default) — the full chaos pipeline with
+* ``corruption`` -> ``chaos-corruption`` — the full chaos pipeline with
   silent-corruption faults (bitrot + torn replica writes) and the
   background scrub daemon enabled.
-* ``churn`` — the membership-churn preset (``run_membership_churn``):
-  an OSD crash, a flap burst, a runtime OSD add and a graceful drain
-  under heartbeats, map epochs and throttled backfill.
+* ``churn`` -> ``chaos-churn`` — the membership-churn preset: an OSD
+  crash, a flap burst, a runtime OSD add and a graceful drain under
+  heartbeats, map epochs and throttled backfill.
 
-Either way the script dumps a JSON record — including the run's
-determinism fingerprint — for artifact upload, and exits non-zero when
-the run fails integrity or convergence, so the scheduled job goes red
-on any acknowledged-data loss or a cluster that never re-replicates.
+The CLI flags override the spec (seed, duration, replica count, fault
+counts), the overridden spec is re-validated, and the run emits the
+unified run record (``repro.experiments.record``) — rows, determinism
+fingerprint, fault-plan log and per-file digests in ``detail`` — for
+artifact upload. Exits non-zero when the run fails integrity or
+convergence (the spec's ``ok == true`` SLO), so the scheduled job goes
+red on any acknowledged-data loss or a cluster that never re-replicates.
 
 Usage:
-    PYTHONPATH=src python scripts/chaos_matrix.py --seed 7 \
+    python scripts/chaos_matrix.py --seed 7 \
         --out artifacts/chaos-seed7.json
-    PYTHONPATH=src python scripts/chaos_matrix.py --scenario churn \
+    python scripts/chaos_matrix.py --scenario churn \
         --seed 7 --out artifacts/churn-seed7.json
 """
 
 import argparse
-import hashlib
 import json
 import os
 import sys
 
-from repro.faults import run_chaos, run_membership_churn
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import registry, validate_record, validate_spec  # noqa: E402
+from repro.experiments.runner import run_spec  # noqa: E402
+
+SCENARIO_SPECS = {
+    "corruption": "chaos-corruption",
+    "churn": "chaos-churn",
+}
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scenario", choices=("corruption", "churn"),
+    parser.add_argument("--scenario", choices=sorted(SCENARIO_SPECS),
                         default="corruption")
     parser.add_argument("--seed", type=int, required=True)
     parser.add_argument("--duration", type=float, default=None,
                         help="workload duration in sim seconds "
-                             "(default: 10 for corruption, 14 for churn)")
-    parser.add_argument("--replicas", type=int, default=2)
-    parser.add_argument("--bitrot", type=int, default=2)
-    parser.add_argument("--torn-writes", type=int, default=1)
+                             "(default: the spec's duration)")
+    parser.add_argument("--replicas", type=int, default=None)
+    parser.add_argument("--bitrot", type=int, default=None)
+    parser.add_argument("--torn-writes", type=int, default=None)
+    parser.add_argument("--quick", action="store_true",
+                        help="apply the spec's quick overrides")
     parser.add_argument("--out", default=None,
                         help="write the JSON record here (default: stdout)")
     args = parser.parse_args(argv)
 
-    if args.scenario == "churn":
-        result = run_membership_churn(
-            seed=args.seed,
-            duration=args.duration if args.duration is not None else 14.0,
-            replicas=args.replicas,
-        )
-    else:
-        result = run_chaos(
-            seed=args.seed,
-            duration=args.duration if args.duration is not None else 10.0,
-            replicas=args.replicas,
-            bitrot=args.bitrot,
-            torn_writes=args.torn_writes,
-            scrub=True,
-        )
-    fingerprint = result.fingerprint()
-    record = {
-        "scenario": args.scenario,
-        "seed": args.seed,
-        "ok": result.ok,
-        "converged": result.converged,
-        "scrub_converged": result.scrub_converged,
-        "membership_converged": result.membership_converged,
-        "under_replicated": [list(key) for key in result.under_replicated],
-        "map_epoch": result.map_epoch,
-        "backfill_objects": result.backfill_objects,
-        "backfill_bytes": result.backfill_bytes,
-        "corruptions": result.corruptions,
-        "repairs": result.repairs,
-        "integrity_errors": result.integrity_errors,
-        "quarantined": [list(key) for key in result.quarantined],
-        "files_checked": result.files_checked,
-        "files_skipped": result.files_skipped,
-        "mismatches": result.mismatches,
-        "read_mismatches": result.read_mismatches,
-        "retries": result.retries,
-        "service_restarts": result.service_restarts,
-        "plan_log": [list(entry) for entry in result.plan_log],
-        "digests": {str(k): v for k, v in sorted(result.digests.items())},
-        # one stable hash of the whole fingerprint for quick diffing
-        "fingerprint": hashlib.blake2b(
-            repr(fingerprint).encode(), digest_size=16
-        ).hexdigest(),
-    }
+    spec = registry.get(SCENARIO_SPECS[args.scenario])
+    spec["seeds"] = [args.seed]
+    if args.duration is not None:
+        spec["params"]["duration"] = args.duration
+    if args.replicas is not None:
+        spec["cluster"]["replicas"] = args.replicas
+        spec["faults"]["replicas"] = args.replicas
+    if args.bitrot is not None:
+        spec["faults"]["bitrot"] = args.bitrot
+    if args.torn_writes is not None:
+        spec["faults"]["torn_writes"] = args.torn_writes
+    spec = validate_spec(spec)
+
+    result, record = run_spec(spec, quick=args.quick)
+    validate_record(record)
+
     payload = json.dumps(record, indent=2, sort_keys=True)
     if args.out:
         out_dir = os.path.dirname(args.out)
@@ -99,13 +87,18 @@ def main(argv=None):
             fh.write(payload + "\n")
     else:
         print(payload)
-    print("scenario=%s seed=%d ok=%s epoch=%d backfill=%dB "
-          "corruptions=%d repairs=%d fingerprint=%s" % (
-              args.scenario, args.seed, result.ok, result.map_epoch,
-              result.backfill_bytes, result.corruptions, result.repairs,
-              record["fingerprint"],
+
+    row = record["rows"][0] if record["rows"] else {}
+    ok = bool(row.get("ok")) and not record["slo"]["violations"]
+    print("scenario=%s seed=%d ok=%s epoch=%s backfill=%sB "
+          "corruptions=%s repairs=%s fingerprint=%s" % (
+              args.scenario, args.seed, ok, row.get("map_epoch"),
+              row.get("backfill_bytes"), row.get("corruptions"),
+              row.get("repairs"), record["fingerprint"],
           ), file=sys.stderr)
-    return 0 if result.ok else 1
+    for violation in record["slo"]["violations"]:
+        print("SLO: %s" % violation, file=sys.stderr)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

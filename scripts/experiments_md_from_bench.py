@@ -1,16 +1,34 @@
 """Build EXPERIMENTS.md from a captured benchmark run.
 
 Usage:  python scripts/experiments_md_from_bench.py bench_output.txt
+        python scripts/experiments_md_from_bench.py report.json
 
-The benchmark targets print one report block per experiment (id, title,
-paper expectation, measured rows, notes). This script lifts those blocks
-verbatim into EXPERIMENTS.md, so the document always reflects an actual
-recorded run. For a from-scratch regeneration that re-runs everything,
-use scripts/generate_experiments_md.py instead.
+Two input shapes:
+
+* a text capture of the benchmark targets (one printed report block per
+  experiment: id, title, paper expectation, measured rows, notes) —
+  blocks are lifted verbatim;
+* a ``.json`` file of unified run records (``repro.experiments.record``)
+  as written by ``python -m repro run --report`` or
+  ``scripts/spec_matrix.py`` — either ``{"experiments": [record, ...]}``
+  or a bare list/single record. Records are schema-validated first, so
+  the document can only be generated from artifacts that match the
+  unified shape.
+
+Either way the output reflects an actual recorded run. For a
+from-scratch regeneration that re-runs everything, use
+scripts/generate_experiments_md.py instead.
 """
 
+import os
 import re
 import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 HEADER = """# EXPERIMENTS — paper vs measured
 
@@ -51,12 +69,58 @@ def extract_blocks(text):
     return blocks
 
 
+def blocks_from_records(records):
+    """Run records -> the same (id, block_lines) shape as text capture.
+
+    Renders each record through ``ExperimentResult`` so the tables are
+    byte-compatible with the printed report blocks.
+    """
+    from repro.bench.harness import ExperimentResult
+    from repro.experiments.record import validate_record
+
+    blocks = []
+    for record in records:
+        validate_record(record)
+        result = ExperimentResult(
+            record["id"], record["title"], record["paper_expectation"]
+        )
+        for row in record["rows"]:
+            result.add_row(**row)
+        for note in record["notes"]:
+            result.note(note)
+        block = ["%s — %s" % (record["id"], record["title"])]
+        if record["paper_expectation"]:
+            block.append("paper: %s" % record["paper_expectation"])
+        block.append("-" * 72)
+        block.extend(result.table().splitlines())
+        for note in record["notes"]:
+            block.append("note: %s" % note)
+        blocks.append((record["id"], block))
+    return blocks
+
+
+def load_records(path):
+    """Parse a JSON report file into a list of run records."""
+    import json
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "experiments" in payload:
+        return payload["experiments"]
+    if isinstance(payload, dict):
+        return [payload]
+    return list(payload)
+
+
 def main():
     source = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     output = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
-    with open(source) as handle:
-        text = handle.read()
-    blocks = extract_blocks(text)
+    if source.endswith(".json"):
+        blocks = blocks_from_records(load_records(source))
+    else:
+        with open(source) as handle:
+            text = handle.read()
+        blocks = extract_blocks(text)
     if not blocks:
         print("no report blocks found in %s" % source, file=sys.stderr)
         return 1

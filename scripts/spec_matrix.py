@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Validate and run the committed experiment specs (the CI spec matrix).
+
+Two modes:
+
+* ``--validate`` (default when no ``--run`` is given) — load every spec
+  file the registry discovers, schema-validate it, and compile its
+  quick variant to a runnable experiment without executing it. Any
+  validation or compile error exits non-zero: this is the CI gate that
+  catches spec-schema drift (a spec key the validator no longer knows,
+  a sweep axis the compiler dropped, a renamed stack symbol).
+* ``--run ID`` (repeatable) — run each named spec via the sweep runner,
+  schema-validate the emitted unified run record, and write one
+  ``<id>.json`` per spec plus a combined ``trend.json`` in the
+  ``BENCH_engine`` trend shape under ``--out-dir``.
+
+Usage:
+    python scripts/spec_matrix.py --validate
+    python scripts/spec_matrix.py --quick --out-dir artifacts \
+        --run fig1 --run abl-ipc --run chaos-corruption
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import SpecError, registry, to_trend, validate_record  # noqa: E402
+from repro.experiments.compiler import compile_spec  # noqa: E402
+from repro.experiments.runner import run_spec  # noqa: E402
+
+
+def validate_all():
+    """Schema-validate and quick-compile every registered spec."""
+    failures = []
+    specs = registry.discover()
+    if not specs:
+        print("no spec files found under: %s"
+              % ", ".join(registry.search_paths()), file=sys.stderr)
+        return 1
+    for name in sorted(specs):
+        spec = specs[name]
+        try:
+            compile_spec(spec, quick=True, seed=spec["seeds"][0])
+        except SpecError as err:
+            failures.append("%s: %s" % (name, err))
+            continue
+        print("ok %-16s kind=%s axes=%s seeds=%s"
+              % (name, spec["kind"], ",".join(spec["sweep"]) or "-",
+                 spec["seeds"]))
+    for failure in failures:
+        print("DRIFT %s" % failure, file=sys.stderr)
+    print("%d specs validated, %d failed" % (len(specs), len(failures)))
+    return 1 if failures else 0
+
+
+def run_selected(names, quick, out_dir):
+    """Run the named specs; write per-spec records plus a trend file."""
+    os.makedirs(out_dir, exist_ok=True)
+    records = []
+    status = 0
+    for name in names:
+        try:
+            spec = registry.get(name)
+        except SpecError as err:
+            print("DRIFT %s" % err, file=sys.stderr)
+            status = 1
+            continue
+        result, record = run_spec(spec, quick=quick)
+        try:
+            validate_record(record)
+        except ValueError as err:
+            print("DRIFT %s: %s" % (name, err), file=sys.stderr)
+            status = 1
+            continue
+        path = os.path.join(out_dir, "%s.json" % name)
+        with open(path, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        violations = record.get("slo", {}).get("violations", [])
+        print("ran %-16s rows=%d wall=%.1fs fingerprint=%s -> %s"
+              % (name, len(record["rows"]), record["wall_s"],
+                 record["fingerprint"], path))
+        for violation in violations:
+            print("SLO %s: %s" % (name, violation), file=sys.stderr)
+            status = 1
+        records.append(record)
+    if records:
+        trend_path = os.path.join(out_dir, "trend.json")
+        with open(trend_path, "w") as fh:
+            json.dump(to_trend(records), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("trend written to %s" % trend_path)
+    return status
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--validate", action="store_true",
+                        help="validate + quick-compile every spec (no runs)")
+    parser.add_argument("--run", action="append", default=[], metavar="ID",
+                        help="run this spec (repeatable)")
+    parser.add_argument("--quick", action="store_true",
+                        help="apply each spec's quick overrides")
+    parser.add_argument("--out-dir", default="artifacts",
+                        help="directory for records (default: artifacts)")
+    args = parser.parse_args(argv)
+    if args.validate or not args.run:
+        status = validate_all()
+        if status or not args.run:
+            return status
+    return run_selected(args.run, args.quick, args.out_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,14 +51,20 @@ class ExperimentResult(object):
         return matches[0][column]
 
     def to_dict(self):
-        """A JSON-safe dict: measured rows plus the paper expectation."""
-        return {
-            "id": self.experiment_id,
-            "title": self.title,
-            "paper_expectation": self.paper_expectation,
-            "rows": [dict(row) for row in self.rows],
-            "notes": list(self.notes),
-        }
+        """The unified run record for this result (JSON-safe).
+
+        Same shape every artifact shares — schema-versioned, with a
+        fingerprint over the rows; see ``repro.experiments.record``.
+        """
+        from repro.experiments.record import make_record
+
+        return make_record(
+            self.experiment_id,
+            title=self.title,
+            paper_expectation=self.paper_expectation,
+            rows=self.rows,
+            notes=self.notes,
+        )
 
     # -- rendering -----------------------------------------------------------
 

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro list                 # experiments, stacks, workloads
+    python -m repro list --specs         # resolved spec files (JSON)
     python -m repro run fig6a            # regenerate one figure
     python -m repro run fig6a --quick    # reduced sweep for a fast look
     python -m repro run all              # everything (tens of minutes)
@@ -10,110 +11,54 @@ Usage::
     python -m repro run fig6a --profile            # lock/CPU profiles
     python -m repro run fig6a --profile --report out.json
 
+Every runnable experiment is a committed spec file under
+``experiments/`` (see ``docs/experiments.md``); ``run`` and ``list``
+resolve names through :mod:`repro.experiments.registry`. ``run all``
+runs everything not tagged ``nightly`` (the chaos presets run in the
+nightly matrix instead).
+
 Each run prints the experiment's report block: the paper's expectation
 followed by the measured rows. With ``--trace``/``--profile`` the run is
 observed through :mod:`repro.obs`: a trace summary and the
 lock-contention / core-stealing profiles are printed, and a Chrome
 ``trace_event`` JSON (loadable in Perfetto) is written next to the
-report. ``--report`` writes rows + expectations (+ profiles) as JSON.
+report. ``--report`` writes unified run records (+ profiles) as JSON.
 """
 
 import argparse
 import sys
-import time
 
 __all__ = ["main", "experiment_names"]
 
 
-def _experiments():
-    from repro.bench import (
-        ClientLockAblation,
-        FileScaleup,
-        FileserverScaleout,
-        FlsColocation,
-        IpcQueueAblation,
-        LighttpdStartup,
-        RocksDbScaleout,
-        RocksDbScaleup,
-        SequentialScaleout,
-    )
-
-    def fig1(quick):
-        exp = FlsColocation(
-            symbols=("K",), fls_counts=(1,) if quick else (1, 3),
-            neighbor="RND", duration=3.0 if quick else 4.0,
-        )
-        exp.experiment_id = "fig1"
-        exp.title = "Motivation: kernel core and lock contention"
-        return exp
-
-    def fig6a(quick):
-        return FlsColocation(
-            symbols=("K", "D"), fls_counts=(1,) if quick else (1, 3),
-            neighbor="RND", duration=3.0 if quick else 4.0,
-        )
-
-    def fig6b(quick):
-        exp = FlsColocation(
-            symbols=("K", "D"), fls_counts=(1,) if quick else (1, 3),
-            neighbor="WBS", duration=3.0 if quick else 4.0,
-        )
-        exp.experiment_id = "fig6b"
-        exp.title = "Fileserver colocated with Webserver (D vs K)"
-        return exp
-
-    def fig6c(quick):
-        exp = FlsColocation(
-            symbols=("K", "D"), fls_counts=(1,), neighbor="SSB",
-            duration=3.0 if quick else 4.0,
-        )
-        exp.experiment_id = "fig6c"
-        exp.title = "Sysbench p99 and Fileserver latency under colocation"
-        return exp
-
-    return {
-        "fig1": fig1,
-        "fig6a": fig6a,
-        "fig6b": fig6b,
-        "fig6c": fig6c,
-        "fig7a": lambda quick: RocksDbScaleout(
-            mode="put", pool_counts=(1, 2) if quick else (1, 4)),
-        "fig7b": lambda quick: RocksDbScaleout(
-            mode="get", pool_counts=(1, 2) if quick else (1, 4)),
-        "fig7c": lambda quick: RocksDbScaleup(
-            mode="put", clone_counts=(2,) if quick else (2, 6)),
-        "fig7d": lambda quick: RocksDbScaleup(
-            mode="get", clone_counts=(2,) if quick else (2, 6),
-            symbols=("D", "F/F", "K/K")),
-        "fig8": lambda quick: LighttpdStartup(
-            container_counts=(1, 4) if quick else (1, 8)),
-        "fig9w": lambda quick: SequentialScaleout(
-            mode="write", pool_counts=(1,) if quick else (1, 4)),
-        "fig9r": lambda quick: SequentialScaleout(
-            mode="read", pool_counts=(1,) if quick else (1, 4)),
-        "fig10": lambda quick: FileserverScaleout(
-            pool_counts=(1,) if quick else (1, 4)),
-        "fig11a": lambda quick: FileScaleup(
-            mode="append", clone_counts=(2,) if quick else (2, 8)),
-        "fig11b": lambda quick: FileScaleup(
-            mode="read", clone_counts=(2,) if quick else (2, 8)),
-        "abl-lock": lambda quick: ClientLockAblation(),
-        "abl-ipc": lambda quick: IpcQueueAblation(),
-    }
-
-
 def experiment_names():
-    """The experiment ids the CLI can run."""
-    return sorted(_experiments())
+    """The experiment ids the CLI can run (one committed spec each)."""
+    from repro.experiments import registry
+
+    return registry.names()
 
 
-def cmd_list(_args):
+def cmd_list(args):
     from repro.bench import COMPOSITES, WORKLOADS
+    from repro.experiments import registry
     from repro.stacks import SYMBOLS
 
+    specs = registry.discover()
+    if args.specs:
+        import json
+
+        print(json.dumps(
+            {name: specs[name] for name in sorted(specs)}, indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print("experiments:")
-    for name in sorted(_experiments()):
-        print("  %s" % name)
+    for name in sorted(specs):
+        spec = specs[name]
+        suffix = ""
+        if spec["tags"]:
+            suffix = "  [%s]" % ", ".join(spec["tags"])
+        print("  %-16s %s%s" % (name, spec["kind"], suffix))
     print()
     print("stacks (Table 1): %s" % ", ".join(SYMBOLS))
     print()
@@ -146,10 +91,16 @@ def _trace_path_for(args, name):
 
 def cmd_run(args):
     from repro import obs
+    from repro.experiments import registry
+    from repro.experiments.runner import run_spec
 
-    registry = _experiments()
-    names = sorted(registry) if args.experiment == "all" else [args.experiment]
-    unknown = [name for name in names if name not in registry]
+    specs = registry.discover()
+    if args.experiment == "all":
+        names = [name for name in sorted(specs)
+                 if "nightly" not in specs[name]["tags"]]
+    else:
+        names = [args.experiment]
+    unknown = [name for name in names if name not in specs]
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown),
               file=sys.stderr)
@@ -165,19 +116,17 @@ def cmd_run(args):
                 # attaches an observer with this spec.
                 obs.reset_attached()
                 obs.set_default(categories=_parse_trace_arg(args.trace))
-            experiment = registry[name](args.quick)
-            started = time.time()
-            result = experiment.run()
+            result, record = run_spec(specs[name], quick=args.quick)
             print(result.report())
             chart = _chart_for(result)
             if chart:
                 print(chart)
-            entry = result.to_dict() if report is not None else None
+            entry = record if report is not None else None
             if observing:
                 entry = _emit_profile(args, name, obs.attached(), entry)
             if report is not None:
                 report["experiments"].append(entry)
-            print("(%.0fs wall-clock)" % (time.time() - started))
+            print("(%.0fs wall-clock)" % record["wall_s"])
             print()
     finally:
         obs.clear_default()
@@ -192,7 +141,7 @@ def cmd_run(args):
 
 
 def _emit_profile(args, name, observers, entry):
-    """Print profile tables; write the Chrome trace; extend the report."""
+    """Print profile tables; write the Chrome trace; extend the record."""
     from repro import obs
 
     merged = obs.merge_profiles(observers)
@@ -274,12 +223,18 @@ def main(argv=None):
         description="Danaus reproduction: run the paper's experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list experiments, stacks and workloads")
+    list_parser = sub.add_parser(
+        "list", help="list experiments, stacks and workloads"
+    )
+    list_parser.add_argument(
+        "--specs", action="store_true",
+        help="dump the resolved experiment specs as JSON",
+    )
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id, e.g. fig6a")
     run_parser.add_argument(
         "--quick", action="store_true",
-        help="reduced sweep for a fast look",
+        help="reduced sweep for a fast look (the spec's quick overrides)",
     )
     run_parser.add_argument(
         "--trace", metavar="CAT[,CAT]", default=None,
@@ -294,8 +249,8 @@ def main(argv=None):
     )
     run_parser.add_argument(
         "--report", metavar="OUT.json", default=None,
-        help="write measured rows + paper expectations (and profiles, "
-             "when observing) as structured JSON",
+        help="write unified run records (and profiles, when observing) "
+             "as structured JSON",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -1,0 +1,109 @@
+"""Spec-file discovery: the declarative experiment registry.
+
+Committed spec files live under ``experiments/`` at the repository
+root — one JSON (or YAML, when PyYAML is importable) file per
+experiment. ``python -m repro run <name>`` and ``python -m repro list``
+resolve names through this registry, so every runnable experiment is a
+config file, not harness code.
+
+Search order (first definition of an id wins):
+
+1. every directory on ``$REPRO_EXPERIMENTS_PATH`` (os.pathsep-joined);
+2. ``./experiments`` under the current working directory;
+3. ``experiments/`` at the repository root, located relative to this
+   package (works regardless of cwd for a source checkout).
+"""
+
+import json
+import os
+
+from repro.experiments.spec import SpecError, validate_spec
+
+__all__ = ["discover", "get", "names", "load_spec_file", "search_paths"]
+
+_EXTENSIONS = (".json", ".yaml", ".yml")
+
+
+def search_paths():
+    """Directories scanned for spec files, in priority order."""
+    paths = []
+    env = os.environ.get("REPRO_EXPERIMENTS_PATH")
+    if env:
+        paths.extend(part for part in env.split(os.pathsep) if part)
+    paths.append(os.path.join(os.getcwd(), "experiments"))
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(package_dir)))
+    paths.append(os.path.join(repo_root, "experiments"))
+    seen = set()
+    out = []
+    for path in paths:
+        real = os.path.realpath(path)
+        if real in seen or not os.path.isdir(real):
+            continue
+        seen.add(real)
+        out.append(real)
+    return out
+
+
+def load_spec_file(path):
+    """Parse and validate one spec file; returns the normalised spec."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError:
+            raise SpecError(
+                "%s is YAML but PyYAML is not installed; use JSON specs "
+                "or install pyyaml" % path
+            )
+        raw = yaml.safe_load(text)
+    else:
+        try:
+            raw = json.loads(text)
+        except ValueError as err:
+            raise SpecError("%s is not valid JSON: %s" % (path, err))
+    return validate_spec(raw, source=path)
+
+
+def discover():
+    """Scan the search paths; returns ``{id: spec}`` (validated).
+
+    A spec whose ``id`` was already defined by an earlier search path is
+    skipped (user/env overrides shadow committed specs); two files in
+    the *same* directory claiming one id is an error.
+    """
+    specs = {}
+    for directory in search_paths():
+        local = {}
+        for entry in sorted(os.listdir(directory)):
+            if not entry.endswith(_EXTENSIONS):
+                continue
+            path = os.path.join(directory, entry)
+            spec = load_spec_file(path)
+            spec_id = spec["id"]
+            if spec_id in local:
+                raise SpecError(
+                    "duplicate spec id %r in %s (%s and %s)"
+                    % (spec_id, directory, local[spec_id], entry)
+                )
+            local[spec_id] = entry
+            specs.setdefault(spec_id, spec)
+    return specs
+
+
+def names():
+    """All registered experiment ids, sorted."""
+    return sorted(discover())
+
+
+def get(name):
+    """The validated spec registered under ``name``."""
+    specs = discover()
+    if name not in specs:
+        raise SpecError(
+            "unknown experiment %r (known: %s)"
+            % (name, ", ".join(sorted(specs)) or "none — no spec files found "
+               "under %s" % ", ".join(search_paths()))
+        )
+    return specs[name]

@@ -13,6 +13,7 @@ Three layers (see ``docs/faults.md``):
 """
 
 from repro.faults.chaos import (
+    ChaosConfig,
     ChaosFileserver,
     ChaosResult,
     run_chaos,
@@ -30,6 +31,7 @@ __all__ = [
     "FaultPlan",
     "KINDS",
     "MEMBERSHIP_KINDS",
+    "ChaosConfig",
     "ChaosFileserver",
     "ChaosResult",
     "run_chaos",

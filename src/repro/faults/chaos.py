@@ -1,6 +1,7 @@
 """Chaos harness: run a workload under a fault plan, prove integrity.
 
-``run_chaos`` wires a complete testbed (world, pool, container mount,
+A :class:`ChaosConfig` (or the legacy ``run_chaos`` keyword wrapper
+around it) wires a complete testbed (world, pool, container mount,
 supervised Danaus service), installs a :class:`FaultPlan`, drives a
 mutating workload through the fault windows, waits for the system to
 *converge* (every fault healed, every retry drained, dirty data flushed)
@@ -16,10 +17,11 @@ The whole pipeline is deterministic: two calls with the same seed yield
 identical fault logs, identical op counts and identical file digests.
 """
 
+import dataclasses
 import hashlib
 
 from repro.common import units
-from repro.common.errors import FsError, SimulationError
+from repro.common.errors import ConfigError, FsError, SimulationError
 from repro.core import ServiceSupervisor
 from repro.faults.plan import FaultPlan
 from repro.stacks import StackFactory
@@ -27,6 +29,7 @@ from repro.workloads.base import Workload
 from repro.world import World
 
 __all__ = [
+    "ChaosConfig",
     "ChaosFileserver",
     "ChaosResult",
     "run_chaos",
@@ -226,71 +229,154 @@ class ChaosResult(object):
         )
 
 
-def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
-              mean_size=32 * 1024, plan=None, supervise=True, until=600.0,
-              osd_crashes=1, partitions=1, service_crashes=1, mds_windows=0,
-              slow_disks=0, replicas=1, bitrot=0, torn_writes=0,
-              scrub=False, scrub_interval=None, flaps=0, osd_adds=0,
-              osd_drains=0):
-    """Full chaos pipeline; returns a :class:`ChaosResult`.
+@dataclasses.dataclass
+class ChaosConfig:
+    """Declarative configuration of one chaos run.
 
-    Builds a one-pool testbed of stack ``symbol``, generates (or takes) a
-    fault plan, runs :class:`ChaosFileserver` under it, settles, verifies.
+    Replaces the historical 20-keyword ``run_chaos`` signature with one
+    record the spec compiler can build from a plain dict. Fields group
+    into cluster topology (``num_osds``/``replicas``/core and RAM
+    sizing), workload shape (``symbol``/``duration``/``threads``/...),
+    the fault mix (counts per :class:`FaultPlan` kind) and pipeline
+    switches (``supervise``/``scrub``/``until``). Defaults reproduce the
+    old ``run_chaos`` behaviour exactly.
 
-    ``bitrot``/``torn_writes`` schedule silent-corruption faults (arming
-    cluster integrity); ``scrub=True`` starts the background scrub daemon
-    and ends the run with a deep-scrub drain, so the result also asserts
-    that every injected corruption was repaired (``integrity_errors``,
-    ``scrub_converged``). Corruption runs want ``replicas >= 2`` — with a
-    single replica there is nothing to repair from, only quarantine.
-
-    ``flaps``/``osd_adds``/``osd_drains`` schedule membership churn;
-    installing such a plan arms the heartbeat prober and the throttled
-    backfill scheduler, and the pipeline then waits for every OSD to
-    rejoin and for backfill to drain before verifying
-    (``membership_converged``, ``under_replicated``). Churn runs want
-    ``replicas >= 2`` so degraded windows stay readable.
+    ``plan`` carries a pre-built :class:`FaultPlan`; when None a plan is
+    generated from the seed and the fault-count fields.
     """
-    world = World(num_cores=8, ram_bytes=units.gib(16), replicas=replicas)
-    world.activate_cores(4)
-    pool = world.engine.create_pool(
-        "p0", num_cores=2, ram_bytes=units.gib(4)
+
+    seed: int = 0
+    symbol: str = "D"
+    # -- workload shape --------------------------------------------------
+    duration: float = 12.0
+    threads: int = 2
+    nfiles: int = 24
+    mean_size: int = 32 * 1024
+    # -- cluster topology ------------------------------------------------
+    num_osds: int = 6
+    replicas: int = 1
+    num_cores: int = 8
+    active_cores: int = 4
+    ram_gib: int = 16
+    pool_cores: int = 2
+    pool_ram_gib: int = 4
+    # -- fault mix -------------------------------------------------------
+    osd_crashes: int = 1
+    partitions: int = 1
+    service_crashes: int = 1
+    mds_windows: int = 0
+    slow_disks: int = 0
+    bitrot: int = 0
+    torn_writes: int = 0
+    flaps: int = 0
+    osd_adds: int = 0
+    osd_drains: int = 0
+    # -- pipeline switches -----------------------------------------------
+    supervise: bool = True
+    scrub: bool = False
+    scrub_interval: float = None
+    until: float = 600.0
+    plan: FaultPlan = None
+
+    @classmethod
+    def field_names(cls):
+        """The spec-able field names (everything but ``plan``)."""
+        return tuple(
+            f.name for f in dataclasses.fields(cls) if f.name != "plan"
+        )
+
+    @classmethod
+    def from_dict(cls, values, **overrides):
+        """Build a config from a plain dict; unknown keys are errors."""
+        merged = dict(values or {})
+        merged.update(overrides)
+        unknown = sorted(set(merged) - {f.name for f in dataclasses.fields(cls)})
+        if unknown:
+            raise ConfigError(
+                "unknown ChaosConfig fields: %s (known: %s)"
+                % (", ".join(unknown), ", ".join(cls.field_names()))
+            )
+        return cls(**merged)
+
+    def to_dict(self):
+        """A JSON-safe field dict (``plan`` omitted)."""
+        return {name: getattr(self, name) for name in self.field_names()}
+
+    def run(self):
+        """Execute the full chaos pipeline; returns a :class:`ChaosResult`.
+
+        Builds a one-pool testbed of stack :attr:`symbol` over the
+        configured cluster topology, generates (or takes) a fault plan,
+        runs :class:`ChaosFileserver` under it, settles, verifies.
+
+        ``bitrot``/``torn_writes`` schedule silent-corruption faults
+        (arming cluster integrity); ``scrub=True`` starts the background
+        scrub daemon and ends the run with a deep-scrub drain, so the
+        result also asserts that every injected corruption was repaired
+        (``integrity_errors``, ``scrub_converged``). Corruption runs want
+        ``replicas >= 2`` — with a single replica there is nothing to
+        repair from, only quarantine.
+
+        ``flaps``/``osd_adds``/``osd_drains`` schedule membership churn;
+        installing such a plan arms the heartbeat prober and the
+        throttled backfill scheduler, and the pipeline then waits for
+        every OSD to rejoin and for backfill to drain before verifying
+        (``membership_converged``, ``under_replicated``). Churn runs
+        want ``replicas >= 2`` so degraded windows stay readable.
+        """
+        return _run_chaos_config(self)
+
+
+def _run_chaos_config(config):
+    seed = config.seed
+    duration = config.duration
+    world = World(
+        num_cores=config.num_cores,
+        ram_bytes=units.gib(config.ram_gib),
+        num_osds=config.num_osds,
+        replicas=config.replicas,
     )
-    factory = StackFactory(world, pool, symbol)
+    world.activate_cores(config.active_cores)
+    pool = world.engine.create_pool(
+        "p0", num_cores=config.pool_cores,
+        ram_bytes=units.gib(config.pool_ram_gib),
+    )
+    factory = StackFactory(world, pool, config.symbol)
     mount = factory.mount_root("c0")
     services = list(pool.services)
     supervisor = None
-    if supervise and services:
+    if config.supervise and services:
         supervisor = ServiceSupervisor(world.sim, world.costs)
         for service in services:
             supervisor.watch(service)
+    plan = config.plan
     if plan is None:
         plan = FaultPlan.generate(
             seed,
             horizon=duration,
             num_osds=len(world.cluster.osds),
             services=[service.name for service in services],
-            osd_crashes=osd_crashes,
-            partitions=partitions,
-            service_crashes=service_crashes if supervise else 0,
-            mds_windows=mds_windows,
-            slow_disks=slow_disks,
-            bitrot=bitrot,
-            torn_writes=torn_writes,
-            flaps=flaps,
-            osd_adds=osd_adds,
-            osd_drains=osd_drains,
+            osd_crashes=config.osd_crashes,
+            partitions=config.partitions,
+            service_crashes=config.service_crashes if config.supervise else 0,
+            mds_windows=config.mds_windows,
+            slow_disks=config.slow_disks,
+            bitrot=config.bitrot,
+            torn_writes=config.torn_writes,
+            flaps=config.flaps,
+            osd_adds=config.osd_adds,
+            osd_drains=config.osd_drains,
         )
     workload = ChaosFileserver(
-        mount.fs, pool, duration=duration, threads=threads, nfiles=nfiles,
-        mean_size=mean_size, seed=seed,
+        mount.fs, pool, duration=duration, threads=config.threads,
+        nfiles=config.nfiles, mean_size=config.mean_size, seed=seed,
     )
     plan.install(world, services=services)
     scrub_daemon = None
-    if scrub:
+    if config.scrub:
         scrub_kwargs = {}
-        if scrub_interval is not None:
-            scrub_kwargs["interval"] = scrub_interval
+        if config.scrub_interval is not None:
+            scrub_kwargs["interval"] = config.scrub_interval
         scrub_daemon = world.cluster.start_scrub(**scrub_kwargs)
 
     def pipeline():
@@ -394,10 +480,50 @@ def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
         )
 
     process = world.sim.spawn(pipeline(), name="chaos-run")
-    finished = world.sim.run_until(process, world.sim.now + until)
+    finished = world.sim.run_until(process, world.sim.now + config.until)
     if not finished:
-        raise SimulationError("chaos run did not converge by t=%s" % until)
+        raise SimulationError(
+            "chaos run did not converge by t=%s" % config.until
+        )
     return process.value
+
+
+def run_chaos(seed=0, symbol="D", duration=12.0, threads=2, nfiles=24,
+              mean_size=32 * 1024, plan=None, supervise=True, until=600.0,
+              osd_crashes=1, partitions=1, service_crashes=1, mds_windows=0,
+              slow_disks=0, replicas=1, bitrot=0, torn_writes=0,
+              scrub=False, scrub_interval=None, flaps=0, osd_adds=0,
+              osd_drains=0):
+    """Back-compat wrapper over :meth:`ChaosConfig.run`.
+
+    .. deprecated:: the keyword-soup signature is frozen for existing
+       callers; new code (and every experiment spec) should build a
+       :class:`ChaosConfig` — same fields, one record, dict-friendly —
+       and call its :meth:`~ChaosConfig.run`. This wrapper simply packs
+       its keywords into a config, so behaviour and determinism
+       fingerprints are identical.
+    """
+    return ChaosConfig(
+        seed=seed, symbol=symbol, duration=duration, threads=threads,
+        nfiles=nfiles, mean_size=mean_size, plan=plan, supervise=supervise,
+        until=until, osd_crashes=osd_crashes, partitions=partitions,
+        service_crashes=service_crashes, mds_windows=mds_windows,
+        slow_disks=slow_disks, replicas=replicas, bitrot=bitrot,
+        torn_writes=torn_writes, scrub=scrub, scrub_interval=scrub_interval,
+        flaps=flaps, osd_adds=osd_adds, osd_drains=osd_drains,
+    ).run()
+
+
+#: The membership-churn preset fields (see :func:`run_membership_churn`).
+CHURN_PRESET = dict(
+    replicas=2,
+    osd_crashes=1,
+    flaps=1,
+    osd_adds=1,
+    osd_drains=1,
+    partitions=0,
+    service_crashes=0,
+)
 
 
 def run_membership_churn(seed=0, duration=14.0, **overrides):
@@ -408,17 +534,10 @@ def run_membership_churn(seed=0, duration=14.0, **overrides):
     the full monitor lifecycle (up → suspect → down → out → rejoin),
     epoch-fenced client ops and throttled backfill, all in one run. The
     result's :attr:`ChaosResult.ok` additionally asserts that membership
-    converged and nothing is left under-replicated. Extra ``run_chaos``
-    keywords (``symbol=``, ``scrub=``, ...) pass through.
+    converged and nothing is left under-replicated. Extra
+    :class:`ChaosConfig` fields (``symbol=``, ``scrub=``, ...) pass
+    through as overrides.
     """
-    kwargs = dict(
-        replicas=2,
-        osd_crashes=1,
-        flaps=1,
-        osd_adds=1,
-        osd_drains=1,
-        partitions=0,
-        service_crashes=0,
-    )
-    kwargs.update(overrides)
-    return run_chaos(seed=seed, duration=duration, **kwargs)
+    fields = dict(CHURN_PRESET)
+    fields.update(overrides)
+    return ChaosConfig.from_dict(fields, seed=seed, duration=duration).run()

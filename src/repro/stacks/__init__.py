@@ -1,6 +1,11 @@
 """Table-1 stack configurations as factories."""
 
-from repro.stacks.factory import SYMBOLS, StackFactory, mount_local
+from repro.stacks.factory import (
+    SYMBOLS,
+    StackFactory,
+    mount_local,
+    validate_symbol,
+)
 from repro.stacks.mounts import Mount
 
-__all__ = ["SYMBOLS", "StackFactory", "mount_local", "Mount"]
+__all__ = ["SYMBOLS", "StackFactory", "mount_local", "validate_symbol", "Mount"]

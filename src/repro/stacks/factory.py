@@ -29,9 +29,24 @@ from repro.kernel import LocalFs
 from repro.stacks.mounts import Mount
 from repro.unionfs import Branch, UnionFs
 
-__all__ = ["SYMBOLS", "StackFactory", "mount_local"]
+__all__ = ["SYMBOLS", "StackFactory", "mount_local", "validate_symbol"]
 
 SYMBOLS = ("D", "K", "F", "FP", "K/K", "F/K", "F/F", "FP/FP")
+
+
+def validate_symbol(symbol):
+    """Check a Table-1 stack symbol; returns it.
+
+    The single authority on known symbols — the factory and the
+    experiment-spec validator both call this, so an unknown symbol fails
+    with the same actionable message everywhere.
+    """
+    if symbol not in SYMBOLS:
+        raise ConfigError(
+            "unknown stack symbol %r (Table 1: %s)"
+            % (symbol, ", ".join(SYMBOLS))
+        )
+    return symbol
 
 #: symbols whose backend client is the user-level libcephfs analogue
 _USER_CLIENT = {"D", "F", "FP", "F/F", "FP/FP"}
@@ -44,8 +59,7 @@ class StackFactory(object):
 
     def __init__(self, world, pool, symbol, cache_bytes=None,
                  fine_grained_locking=False, single_queue=False):
-        if symbol not in SYMBOLS:
-            raise ConfigError("unknown stack symbol %r" % symbol)
+        validate_symbol(symbol)
         self.world = world
         self.pool = pool
         # The pool's host decides which kernel instance serves it — on a

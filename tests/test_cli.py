@@ -13,6 +13,25 @@ def test_list_runs(capsys):
     assert "D, K, F" in out
 
 
+def test_list_specs_dumps_resolved_specs(capsys):
+    import json
+
+    assert main(["list", "--specs"]) == 0
+    specs = json.loads(capsys.readouterr().out)
+    assert "fig6a" in specs
+    assert specs["fig6a"]["kind"] == "colocation"
+    assert specs["fig6a"]["sweep"]["symbol"] == ["K", "D"]
+    assert specs["chaos-corruption"]["faults"]["bitrot"] == 2
+
+
+def test_run_all_excludes_nightly_specs():
+    from repro.experiments import registry
+
+    specs = registry.discover()
+    nightly = [n for n, s in specs.items() if "nightly" in s["tags"]]
+    assert "chaos-corruption" in nightly and "chaos-churn" in nightly
+
+
 def test_experiment_names_cover_every_figure():
     names = experiment_names()
     for expected in ("fig1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b",

@@ -1,0 +1,354 @@
+"""Tests for the declarative experiment layer (repro.experiments).
+
+Covers spec validation errors, registry discovery of the committed
+spec files, compile-correctness against the legacy CLI closures, the
+unified run-record schema, and (slow) closure-vs-spec row/fingerprint
+equivalence for fig6a.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments import (
+    RECORD_SCHEMA,
+    RecordError,
+    SpecError,
+    make_record,
+    registry,
+    rows_fingerprint,
+    to_trend,
+    validate_record,
+    validate_spec,
+)
+from repro.experiments.compiler import AXES, KINDS, compile_spec
+from repro.experiments.runner import check_slos, run_spec
+
+
+def minimal_spec(**overrides):
+    spec = {
+        "id": "t1",
+        "kind": "colocation",
+        "sweep": {"symbol": ["K"], "n_fls": [1]},
+        "params": {"duration": 3.0},
+    }
+    spec.update(overrides)
+    return spec
+
+
+# -- spec validation -------------------------------------------------------
+
+def test_validate_fills_defaults():
+    spec = validate_spec(minimal_spec())
+    assert spec["schema"] == 1
+    assert spec["cluster"] == {"osds": 6, "replicas": 1, "hosts": 1}
+    assert spec["seeds"] == [1]
+    assert spec["stacks"] == ["K"]  # derived from the symbol axis
+    assert spec["quick"] == {"sweep": {}, "params": {}}
+
+
+def test_validate_does_not_mutate_input():
+    raw = minimal_spec()
+    frozen = copy.deepcopy(raw)
+    validate_spec(raw)
+    assert raw == frozen
+
+
+def test_unknown_top_level_key_rejected():
+    with pytest.raises(SpecError, match="unknown keys: swep"):
+        validate_spec(minimal_spec(swep={}))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(SpecError, match="unknown experiment kind"):
+        validate_spec(minimal_spec(kind="colocashun"))
+
+
+def test_unknown_stack_symbol_rejected():
+    spec = minimal_spec(sweep={"symbol": ["K", "Q"], "n_fls": [1]})
+    with pytest.raises(SpecError, match="unknown stack symbol 'Q'"):
+        validate_spec(spec)
+
+
+def test_unknown_stack_symbol_in_stacks_rejected():
+    with pytest.raises(SpecError, match="unknown stack symbol"):
+        validate_spec(minimal_spec(stacks=["K", "XX"]))
+
+
+def test_unknown_workload_symbol_rejected():
+    with pytest.raises(SpecError, match="unknown workload symbol 'NFS'"):
+        validate_spec(minimal_spec(workloads=["FLS", "NFS"]))
+
+
+def test_unknown_sweep_axis_rejected():
+    spec = minimal_spec(sweep={"pools": [1]})
+    with pytest.raises(SpecError, match="no sweep axis 'pools'"):
+        validate_spec(spec)
+
+
+def test_conflicting_sweep_axes_rejected():
+    spec = minimal_spec(params={"n_fls": 2})
+    with pytest.raises(SpecError, match="conflicting sweep axes: n_fls"):
+        validate_spec(spec)
+
+
+def test_conflicting_quick_params_rejected():
+    spec = minimal_spec(quick={"params": {"symbol": "D"}})
+    with pytest.raises(SpecError, match="conflicting sweep axes"):
+        validate_spec(spec)
+
+
+def test_quick_override_of_undeclared_axis_rejected():
+    spec = minimal_spec(quick={"sweep": {"n_fls": [1], "symbol": ["K"]}})
+    validate_spec(spec)  # both axes declared -> fine
+    spec = minimal_spec(sweep={"symbol": ["K"]},
+                        quick={"sweep": {"n_fls": [1]}})
+    with pytest.raises(SpecError, match="overrides unknown axis 'n_fls'"):
+        validate_spec(spec)
+
+
+@pytest.mark.parametrize("seeds", [[], [1, 1], ["a"], [True], 7])
+def test_bad_seed_lists_rejected(seeds):
+    with pytest.raises(SpecError):
+        validate_spec(minimal_spec(seeds=seeds))
+
+
+def test_faults_only_for_chaos_kind():
+    with pytest.raises(SpecError, match="faults only apply"):
+        validate_spec(minimal_spec(faults={"bitrot": 1}))
+
+
+def test_unknown_chaos_field_rejected():
+    spec = {"id": "c1", "kind": "chaos", "faults": {"bitrots": 2}}
+    with pytest.raises(SpecError, match="unknown ChaosConfig fields"):
+        validate_spec(spec)
+
+
+def test_bad_slo_op_rejected():
+    spec = minimal_spec(slo=[{"metric": "ok", "op": "~=", "value": 1}])
+    with pytest.raises(SpecError, match="op '~='"):
+        validate_spec(spec)
+
+
+def test_replicas_cannot_exceed_osds():
+    spec = minimal_spec(cluster={"osds": 2, "replicas": 3})
+    with pytest.raises(SpecError, match="exceeds"):
+        validate_spec(spec)
+
+
+def test_wrong_schema_version_rejected():
+    with pytest.raises(SpecError, match="schema"):
+        validate_spec(minimal_spec(schema=99))
+
+
+# -- registry --------------------------------------------------------------
+
+LEGACY_NAMES = (
+    "fig1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c", "fig7d",
+    "fig8", "fig9w", "fig9r", "fig10", "fig11a", "fig11b",
+    "abl-lock", "abl-ipc",
+)
+
+
+def test_registry_covers_every_legacy_name():
+    names = registry.names()
+    for expected in LEGACY_NAMES:
+        assert expected in names
+
+
+def test_registry_specs_all_validate_and_compile():
+    for name, spec in registry.discover().items():
+        experiment = compile_spec(spec, quick=True, seed=spec["seeds"][0])
+        assert experiment.experiment_id == name
+
+
+def test_registry_get_unknown_name():
+    with pytest.raises(SpecError, match="unknown experiment 'fig99'"):
+        registry.get("fig99")
+
+
+def test_env_path_shadows_committed_spec(tmp_path, monkeypatch):
+    shadow = dict(registry.get("abl-ipc"))
+    shadow["title"] = "shadowed"
+    (tmp_path / "abl-ipc.json").write_text(json.dumps(shadow))
+    monkeypatch.setenv("REPRO_EXPERIMENTS_PATH", str(tmp_path))
+    assert registry.get("abl-ipc")["title"] == "shadowed"
+
+
+def test_yaml_spec_without_pyyaml_is_gated(tmp_path, monkeypatch):
+    (tmp_path / "y1.yaml").write_text("id: y1\nkind: ablation_ipc\n")
+    import builtins
+
+    real_import = builtins.__import__
+
+    def no_yaml(name, *args, **kwargs):
+        if name == "yaml":
+            raise ImportError("no module named yaml")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_yaml)
+    with pytest.raises(SpecError, match="PyYAML is not installed"):
+        registry.load_spec_file(str(tmp_path / "y1.yaml"))
+
+
+# -- compiler --------------------------------------------------------------
+
+def test_every_kind_has_a_builder_or_is_chaos():
+    for kind in KINDS:
+        assert kind in AXES
+
+
+def test_fig6a_compiles_to_legacy_constructor_state():
+    spec = registry.get("fig6a")
+    full = compile_spec(spec, quick=False, seed=1)
+    assert type(full).__name__ == "FlsColocation"
+    assert tuple(full.symbols) == ("K", "D")
+    assert tuple(full.fls_counts) == (1, 3)
+    assert full.neighbor == "RND"
+    assert full.duration == 4.0
+    quick = compile_spec(spec, quick=True, seed=1)
+    assert tuple(quick.fls_counts) == (1,)
+    assert quick.duration == 3.0
+    # the seed lands in params exactly like the legacy default
+    assert quick.params == {"seed": 1}
+
+
+def test_fig7d_compiles_with_symbol_subset_and_id():
+    spec = registry.get("fig7d")
+    exp = compile_spec(spec, quick=False, seed=1)
+    assert tuple(exp.symbols) == ("D", "F/F", "K/K")
+    assert exp.mode == "get"
+    assert exp.experiment_id == "fig7d"
+
+
+def test_chaos_spec_lowers_cluster_onto_config():
+    spec = registry.get("chaos-corruption")
+    exp = compile_spec(spec, quick=False, seed=7)
+    config = exp.config
+    assert config.seed == 7
+    assert config.replicas == 2
+    assert config.num_osds == 6
+    assert config.bitrot == 2
+    assert config.torn_writes == 1
+    assert config.scrub is True
+
+
+def test_param_colliding_with_builder_keyword_fails_compile():
+    spec = validate_spec(minimal_spec(params={"symbols": ["K"]}))
+    with pytest.raises(SpecError, match="do not fit kind"):
+        compile_spec(spec, seed=1)
+
+
+def test_unknown_chaos_param_rejected_at_validation():
+    spec = {"id": "c1", "kind": "chaos", "params": {"bit_rot": 1}}
+    with pytest.raises(SpecError, match="not ChaosConfig fields"):
+        validate_spec(spec)
+
+
+# -- record schema ---------------------------------------------------------
+
+def test_make_record_is_valid_and_stable():
+    rows = [{"symbol": "K", "x": 1.0}, {"symbol": "D", "x": 2.0}]
+    record = make_record("t1", title="t", rows=rows)
+    assert record["schema"] == RECORD_SCHEMA
+    validate_record(record)
+    assert record["fingerprint"] == rows_fingerprint(rows)
+    # key order in rows must not change the fingerprint
+    flipped = [{"x": 1.0, "symbol": "K"}, {"x": 2.0, "symbol": "D"}]
+    assert rows_fingerprint(flipped) == record["fingerprint"]
+
+
+def test_validate_record_catches_drift():
+    record = make_record("t1", rows=[{"a": 1}])
+    bad = dict(record, extra_key=1)
+    with pytest.raises(RecordError, match="unknown keys"):
+        validate_record(bad)
+    stale = dict(record)
+    stale["rows"] = [{"a": 2}]
+    with pytest.raises(RecordError, match="fingerprint"):
+        validate_record(stale)
+    old = dict(record, schema=1)
+    with pytest.raises(RecordError, match="schema"):
+        validate_record(old)
+    missing = {k: v for k, v in record.items() if k != "notes"}
+    with pytest.raises(RecordError, match="missing keys"):
+        validate_record(missing)
+
+
+def test_result_to_dict_emits_unified_record():
+    from repro.bench.harness import ExperimentResult
+
+    result = ExperimentResult("t1", "title", "expect")
+    result.add_row(symbol="K", v=1.0)
+    result.note("n")
+    record = result.to_dict()
+    validate_record(record)
+    assert record["id"] == "t1"
+    assert record["paper_expectation"] == "expect"
+    assert record["rows"] == [{"symbol": "K", "v": 1.0}]
+
+
+def test_to_trend_shape():
+    records = [
+        make_record("a", rows=[{"x": 1}], wall_s=1.5),
+        make_record("b", rows=[{"x": 2}], wall_s=2.0),
+    ]
+    trend = to_trend(records)
+    assert trend["schema"] == 1
+    assert set(trend["scenarios"]) == {"a", "b"}
+    assert trend["total_wall_s"] == 3.5
+    assert trend["scenarios"]["a"]["fingerprint"] == records[0]["fingerprint"]
+
+
+# -- SLO checks ------------------------------------------------------------
+
+def test_check_slos_flags_violation_and_empty_match():
+    from repro.bench.harness import ExperimentResult
+
+    spec = validate_spec(minimal_spec(slo=[
+        {"metric": "ops", "op": ">=", "value": 10,
+         "where": {"symbol": "K"}},
+        {"metric": "ops", "op": ">=", "value": 1,
+         "where": {"symbol": "Z"}},
+    ]))
+    result = ExperimentResult("t1", "t")
+    result.add_row(symbol="K", ops=5)
+    outcome = check_slos(spec, result)
+    assert outcome["checked"] == 2
+    assert len(outcome["violations"]) == 2
+    assert any("no rows match" in v for v in outcome["violations"])
+
+
+# -- ChaosConfig back-compat ----------------------------------------------
+
+def test_chaos_config_from_dict_rejects_unknown_field():
+    from repro.common.errors import ConfigError
+    from repro.faults import ChaosConfig
+
+    with pytest.raises(ConfigError, match="unknown ChaosConfig field"):
+        ChaosConfig.from_dict({"bit_rot": 1})
+
+
+def test_chaos_config_roundtrip():
+    from repro.faults import ChaosConfig
+
+    config = ChaosConfig.from_dict({"bitrot": 2}, seed=5)
+    assert config.bitrot == 2 and config.seed == 5
+    clone = ChaosConfig.from_dict(config.to_dict())
+    assert clone == config
+
+
+# -- closure-vs-spec equivalence (slow) ------------------------------------
+
+@pytest.mark.slow
+def test_fig6a_spec_matches_legacy_closure_rows():
+    from repro.bench import FlsColocation
+
+    legacy = FlsColocation(
+        symbols=("K", "D"), fls_counts=(1,), neighbor="RND", duration=3.0,
+    ).run()
+    _result, record = run_spec(registry.get("fig6a"), quick=True)
+    assert record["rows"] == legacy.rows
+    assert record["fingerprint"] == rows_fingerprint(legacy.rows)
+    assert record["seeds"] == [1]
