@@ -9,6 +9,10 @@ Each scenario is a committed experiment spec (``experiments/``):
 * ``churn`` -> ``chaos-churn`` — the membership-churn preset: an OSD
   crash, a flap burst, a runtime OSD add and a graceful drain under
   heartbeats, map epochs and throttled backfill.
+* ``mds`` -> ``chaos-mds`` — the metadata-HA preset: SIGKILL the active
+  MDS plus an administrative failover mid-workload; the standby replays
+  the rank journal, clients reconnect and resend with op-id dedup, and
+  the SLO fails on any lost acked mutation or duplicated rename/create.
 
 The CLI flags override the spec (seed, duration, replica count, fault
 counts), the overridden spec is re-validated, and the run emits the
@@ -42,6 +46,7 @@ from repro.experiments.runner import run_spec  # noqa: E402
 SCENARIO_SPECS = {
     "corruption": "chaos-corruption",
     "churn": "chaos-churn",
+    "mds": "chaos-mds",
 }
 
 

@@ -125,6 +125,9 @@ class CephLibClient(Filesystem):
         )
         self._session_epoch = cluster.mds.session_epoch
         self._held_caps = {}  # ino -> caps mask held under this session
+        #: exactly-once metadata stamps (allocated lazily when HA arms)
+        self._mds_session_id = None
+        self._mds_op_seq = 0
         if start_flusher:
             sim.spawn(self._flusher_loop(), name="%s.flusher" % name)
 
@@ -201,7 +204,8 @@ class CephLibClient(Filesystem):
         else:
             try:
                 info = yield from self.cluster.mds_call(
-                    "create", path, bool(flags & OpenFlags.EXCL), mode
+                    "create", path, bool(flags & OpenFlags.EXCL), mode,
+                    **self._mds_op_ids()
                 )
             except FileExists:
                 raise
@@ -260,6 +264,29 @@ class CephLibClient(Filesystem):
         self.metrics.counter("caps_revoked").add(1)
         self.sim.trace("client", "cap_revoke", client=self.name, ino=ino,
                        caps=caps)
+
+    def _mds_op_ids(self):
+        """Stamps for one mutating metadata op (exactly-once resends).
+
+        Disarmed (no MdsService) this returns ``{}`` and the call site
+        expands to nothing — the single-MDS event schedule is untouched.
+        Armed, every mutation carries a ``(client_id, op_id)`` pair that
+        lands in the rank journal: a post-failover resend of the same op
+        dedups against the replayed op-id table instead of re-running,
+        so rename/create/unlink apply exactly once. The pair is built
+        once per logical op — the cluster retry loop reuses it across
+        resends, which is the whole point.
+        """
+        if self.cluster.mds_service is None:
+            return {}
+        if self._mds_session_id is None:
+            self._mds_session_id = (
+                self.client_id if self.client_id is not None
+                else self.cluster.mds_session_id()
+            )
+        self._mds_op_seq += 1
+        return {"client_id": self._mds_session_id,
+                "op_id": self._mds_op_seq}
 
     def _ensure_session(self):
         """Reestablish the MDS session after an MDS restart (caps mode).
@@ -478,18 +505,22 @@ class CephLibClient(Filesystem):
 
     def mkdir(self, task, path, mode=0o755):
         yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
-        info = yield from self.cluster.mds_call("mkdir", path, mode)
+        info = yield from self.cluster.mds_call("mkdir", path, mode,
+                                                **self._mds_op_ids())
         self._remember(pathutil.normalize(path), info)
 
     def rmdir(self, task, path):
         yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
-        yield from self.cluster.mds_call("rmdir", path)
+        yield from self.cluster.mds_call("rmdir", path,
+                                         **self._mds_op_ids())
         self.attr_cache[pathutil.normalize(path)] = _NEGATIVE
 
     def unlink(self, task, path):
         path = pathutil.normalize(path)
         yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
-        ino, _size = yield from self.cluster.mds_call("unlink", path)
+        ino, _size = yield from self.cluster.mds_call(
+            "unlink", path, **self._mds_op_ids()
+        )
         self.cluster.purge(ino)
         self.cache.drop_ino(ino)
         self._prefetcher.forget(ino)
@@ -511,7 +542,8 @@ class CephLibClient(Filesystem):
         old_path = pathutil.normalize(old_path)
         new_path = pathutil.normalize(new_path)
         yield from self._locked_cpu(task, -1, self.costs.ceph_client_op)
-        yield from self.cluster.mds_call("rename", old_path, new_path)
+        yield from self.cluster.mds_call("rename", old_path, new_path,
+                                         **self._mds_op_ids())
         info = self.attr_cache.get(old_path)
         self.attr_cache[old_path] = _NEGATIVE
         if info is not None and info is not _NEGATIVE:
@@ -533,7 +565,9 @@ class CephLibClient(Filesystem):
         yield from self.cluster.truncate(ino, size)
         self._sizes[ino] = size
         try:
-            info = yield from self.cluster.mds_call("setattr_size", path, size)
+            info = yield from self.cluster.mds_call(
+                "setattr_size", path, size, **self._mds_op_ids()
+            )
         except FileNotFound:
             return  # concurrently unlinked; the open handle stays usable
         self._remember(path, info)
@@ -613,7 +647,8 @@ class CephLibClient(Filesystem):
                 if path is not None:
                     try:
                         info = yield from self.cluster.mds_call(
-                            "setattr_size", path, self._local_size(ino)
+                            "setattr_size", path, self._local_size(ino),
+                            **self._mds_op_ids()
                         )
                         self._remember(path, info)
                     except FileNotFound:
@@ -652,7 +687,8 @@ class CephLibClient(Filesystem):
                     return
                 try:
                     info = yield from self.cluster.mds_call(
-                        "setattr_size", path, self._local_size(ino)
+                        "setattr_size", path, self._local_size(ino),
+                        **self._mds_op_ids()
                     )
                 except FileNotFound:
                     return

@@ -66,8 +66,27 @@ class CephKernelFs(Filesystem):
         #: pipelined readahead: one detached next-window prefetch per ino
         self._prefetcher = Prefetcher(self.sim)
         self.metrics = MetricSet(name)
+        #: exactly-once metadata stamps (allocated lazily when HA arms)
+        self._mds_session_id = None
+        self._mds_op_seq = 0
 
     # -- helpers ----------------------------------------------------------
+
+    def _mds_op_ids(self):
+        """Stamps for one mutating metadata op (exactly-once resends).
+
+        Disarmed this is ``{}`` — the single-MDS event schedule is
+        untouched. Armed, the ``(client_id, op_id)`` pair is journaled
+        with the mutation so a post-failover resend dedups instead of
+        re-running (see CephLibClient._mds_op_ids).
+        """
+        if self.cluster.mds_service is None:
+            return {}
+        if self._mds_session_id is None:
+            self._mds_session_id = self.cluster.mds_session_id()
+        self._mds_op_seq += 1
+        return {"client_id": self._mds_session_id,
+                "op_id": self._mds_op_seq}
 
     def _on_osdmap(self, osdmap):
         """Monitor pushed a new osdmap (membership/CRUSH change)."""
@@ -102,7 +121,8 @@ class CephKernelFs(Filesystem):
 
             try:
                 yield from self.cluster.mds_call(
-                    "setattr_size", path, self._sizes.get(ino, 0)
+                    "setattr_size", path, self._sizes.get(ino, 0),
+                    **self._mds_op_ids()
                 )
             except FileNotFound:
                 pass
@@ -155,7 +175,8 @@ class CephKernelFs(Filesystem):
                 self.costs.kernel_lock_section / 2,
             )
             info = yield from self.cluster.mds_call(
-                "create", path, bool(flags & OpenFlags.EXCL), mode
+                "create", path, bool(flags & OpenFlags.EXCL), mode,
+                **self._mds_op_ids()
             )
         else:
             from repro.common.errors import FileNotFound
@@ -280,7 +301,8 @@ class CephKernelFs(Filesystem):
             if path is not None:
                 try:
                     yield from self.cluster.mds_call(
-                        "setattr_size", path, new_size
+                        "setattr_size", path, new_size,
+                        **self._mds_op_ids()
                     )
                 except FileNotFound:
                     pass  # concurrently unlinked
@@ -347,7 +369,8 @@ class CephKernelFs(Filesystem):
             task, self._dir_lock(pathutil.parent_of(path)),
             self.costs.kernel_lock_section,
         )
-        info = yield from self.cluster.mds_call("mkdir", path, mode)
+        info = yield from self.cluster.mds_call("mkdir", path, mode,
+                                                **self._mds_op_ids())
         self._remember(pathutil.normalize(path), info)
 
     def rmdir(self, task, path):
@@ -356,7 +379,8 @@ class CephKernelFs(Filesystem):
             task, self._dir_lock(pathutil.parent_of(path)),
             self.costs.kernel_lock_section,
         )
-        yield from self.cluster.mds_call("rmdir", path)
+        yield from self.cluster.mds_call("rmdir", path,
+                                         **self._mds_op_ids())
         self.attr_cache[pathutil.normalize(path)] = _NEGATIVE
 
     def unlink(self, task, path):
@@ -370,7 +394,9 @@ class CephKernelFs(Filesystem):
             task, self.kernel.locks.get("inode_hash_lock"),
             self.costs.kernel_lock_section / 2,
         )
-        ino, _size = yield from self.cluster.mds_call("unlink", path)
+        ino, _size = yield from self.cluster.mds_call(
+            "unlink", path, **self._mds_op_ids()
+        )
         self.cluster.purge(ino)
         self.kernel.page_cache.drop_file(self._cache_key(ino))
         self._prefetcher.forget(ino)
@@ -398,7 +424,8 @@ class CephKernelFs(Filesystem):
             task, self._dir_lock(pathutil.parent_of(old_path)),
             self.costs.kernel_lock_section,
         )
-        yield from self.cluster.mds_call("rename", old_path, new_path)
+        yield from self.cluster.mds_call("rename", old_path, new_path,
+                                         **self._mds_op_ids())
         info = self.attr_cache.get(old_path)
         self.attr_cache[old_path] = _NEGATIVE
         if info is not None and info is not _NEGATIVE:
@@ -427,7 +454,9 @@ class CephKernelFs(Filesystem):
         if size == 0:
             self.kernel.page_cache.drop_file(self._cache_key(ino))
         try:
-            info = yield from self.cluster.mds_call("setattr_size", path, size)
+            info = yield from self.cluster.mds_call(
+                "setattr_size", path, size, **self._mds_op_ids()
+            )
         except FileNotFound:
             return  # concurrently unlinked; the open handle stays usable
         self._remember(path, info)

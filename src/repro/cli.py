@@ -164,6 +164,11 @@ def _emit_profile(args, name, observers, entry):
             print()
             print("membership recovery (map epochs, backfill, degraded):")
             print(obs.format_recovery_table(recovery))
+        mds = merged["mds"]
+        if mds:
+            print()
+            print("metadata HA (journal, sessions, failover):")
+            print(obs.format_mds_table(mds))
     if args.trace is not None:
         print()
         print("trace summary:")

@@ -168,6 +168,16 @@ class CostModel(object):
         #: probation a flapping OSD serves before it may rejoin
         self.flap_probation = 1.0
 
+        # --- metadata HA (MDS ranks / journal / failover) ---------------------
+        #: per-record CPU cost of replaying one journal entry during
+        #: standby promotion or journal-backed local recovery
+        self.mds_replay_op = units.usec(5.0)
+        #: period of the standby-replay journal tail (sim seconds)
+        self.mds_tail_interval = 0.05
+        #: missed monitor probes before an active MDS rank fails over to
+        #: a standby (the mds_beacon_grace analogue)
+        self.mds_heartbeat_grace = 3
+
         # --- backfill throttle ------------------------------------------------
         #: pause between backfill scheduler cycles (sim seconds)
         self.backfill_interval = 0.25

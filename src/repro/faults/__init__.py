@@ -21,6 +21,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.plan import (
     KINDS,
+    MDS_HA_KINDS,
     MEMBERSHIP_KINDS,
     FaultAction,
     FaultPlan,
@@ -30,6 +31,7 @@ __all__ = [
     "FaultAction",
     "FaultPlan",
     "KINDS",
+    "MDS_HA_KINDS",
     "MEMBERSHIP_KINDS",
     "ChaosConfig",
     "ChaosFileserver",

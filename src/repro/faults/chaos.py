@@ -271,6 +271,11 @@ class ChaosConfig:
     flaps: int = 0
     osd_adds: int = 0
     osd_drains: int = 0
+    mds_crashes: int = 0
+    mds_failovers: int = 0
+    mds_rank_splits: int = 0
+    mds_standbys: int = 1
+    oracle_meta: bool = False
     # -- pipeline switches -----------------------------------------------
     supervise: bool = True
     scrub: bool = False
@@ -366,6 +371,11 @@ def _run_chaos_config(config):
             flaps=config.flaps,
             osd_adds=config.osd_adds,
             osd_drains=config.osd_drains,
+            mds_crashes=config.mds_crashes,
+            mds_failovers=config.mds_failovers,
+            mds_rank_splits=config.mds_rank_splits,
+            mds_standbys=config.mds_standbys,
+            oracle_meta=config.oracle_meta,
         )
     workload = ChaosFileserver(
         mount.fs, pool, duration=duration, threads=config.threads,
@@ -417,6 +427,14 @@ def _run_chaos_config(config):
             membership_converged = (
                 membership_converged and not monitor.has_failures()
             )
+        # Metadata convergence: give standby promotion + journal replay
+        # (and duration-healed crash recoveries) time to finish before
+        # the final verification sweeps the namespace.
+        if world.cluster.mds_service is not None:
+            for _ in range(600):
+                if world.cluster.mds_healthy():
+                    break
+                yield world.sim.timeout(0.25)
         scrub_converged = True
         if scrub_daemon is not None:
             # Stop the periodic loop, then deep-scrub to convergence so
@@ -432,7 +450,7 @@ def _run_chaos_config(config):
         converged = (
             world.cluster.inflight_attempts == 0
             and not world.fabric.partitioned
-            and world.cluster.mds.available
+            and world.cluster.mds_healthy()
             and all(not service.crashed for service in services)
         )
         cluster_metrics = world.cluster.metrics

@@ -18,8 +18,19 @@ Supported action kinds:
 ``partition``      partition the client-storage fabric for ``duration``
 ``link_degrade``   stretch fabric latency by ``delay_factor`` and drop
                    ``loss_rate`` of messages for ``duration``
-``mds_down``       MDS unavailability window; heals via ``Mds.restart()``
-                   (sessions lost, namespace intact)
+``mds_down``       MDS unavailability window; heals through journal
+                   replay (sessions lost, acked namespace rebuilt) —
+                   or the legacy oracle ``Mds.restart()`` under
+                   ``oracle_meta=True``
+``mds_crash``      SIGKILL the active MDS of rank ``target`` (un-journaled
+                   in-flight mutations are honestly lost; a standby
+                   promotes via heartbeats, or ``duration`` restores the
+                   daemon in place through journal replay)
+``mds_failover``   administratively promote a standby over rank
+                   ``target``'s live active (the deposed daemon is fenced
+                   by mdsmap epoch, then rejoins as a standby)
+``mds_rank_split`` grow the metadata service by one directory-hash rank
+                   (max_mds bump; caps and dedup state re-home)
 ``service_crash``  crash the named Danaus :class:`FilesystemService`
 ``flusher_stall``  stall the host kernel's writeback for ``duration``
 ``bitrot``         silently flip ``flips`` bits in one stored replica of a
@@ -52,6 +63,7 @@ __all__ = [
     "FaultAction",
     "FaultPlan",
     "KINDS",
+    "MDS_HA_KINDS",
     "MEMBERSHIP_KINDS",
 ]
 
@@ -69,6 +81,9 @@ KINDS = (
     "osd_flap",
     "osd_add",
     "osd_drain",
+    "mds_crash",
+    "mds_failover",
+    "mds_rank_split",
 )
 
 #: Fault kinds that silently corrupt stored replicas (integrity required).
@@ -77,6 +92,10 @@ CORRUPTION_KINDS = ("bitrot", "torn_write")
 #: Fault kinds that exercise the membership lifecycle (heartbeats +
 #: throttled backfill are armed on install when any is scheduled).
 MEMBERSHIP_KINDS = ("osd_flap", "osd_add", "osd_drain")
+
+#: Fault kinds that need the metadata-HA machinery (journaled ranks +
+#: standby pool + heartbeat-driven failover) armed on install.
+MDS_HA_KINDS = ("mds_crash", "mds_failover", "mds_rank_split")
 
 #: pause between recovery attempts when the fabric is still partitioned.
 _RECOVER_RETRY_DELAY = 0.25
@@ -120,8 +139,14 @@ class FaultAction(object):
 class FaultPlan(object):
     """A seeded, reproducible schedule of faults over one world."""
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, oracle_meta=False, mds_standbys=1):
         self.seed = seed
+        #: legacy compat: heal ``mds_down`` via the oracle ``restart()``
+        #: (resurrecting un-acked in-memory mutations) instead of the
+        #: honest journal-replay recovery.
+        self.oracle_meta = oracle_meta
+        #: standby-replay daemons created when an HA kind arms the pool
+        self.mds_standbys = mds_standbys
         self.actions = []
         #: fired injections, in order: (sim_time, event, kind, target).
         self.log = []
@@ -151,17 +176,23 @@ class FaultPlan(object):
     def generate(cls, seed, horizon, num_osds, services=(), osd_crashes=1,
                  partitions=1, service_crashes=1, mds_windows=0,
                  slow_disks=0, bitrot=0, torn_writes=0, flaps=0,
-                 osd_adds=0, osd_drains=0):
+                 osd_adds=0, osd_drains=0, mds_crashes=0, mds_failovers=0,
+                 mds_rank_splits=0, mds_standbys=1, oracle_meta=False):
         """A random-but-reproducible plan over ``horizon`` seconds.
 
         Every crash gets a matching restart and every window heals well
         inside the horizon, so a workload outliving the plan converges.
         ``flaps``/``osd_adds``/``osd_drains`` schedule membership churn
         (see :data:`MEMBERSHIP_KINDS`); installing such a plan arms the
-        heartbeat prober and the backfill scheduler.
+        heartbeat prober and the backfill scheduler. The metadata kinds
+        (``mds_crashes``/``mds_failovers``/``mds_rank_splits``, see
+        :data:`MDS_HA_KINDS`) arm the journaled-rank machinery with
+        ``mds_standbys`` standby-replay daemons. New kinds draw from the
+        rng strictly after the historical ones and only when requested,
+        so plans generated with the legacy knobs are bit-identical.
         """
         rng = make_rng(seed, "fault-plan")
-        plan = cls(seed)
+        plan = cls(seed, oracle_meta=oracle_meta, mds_standbys=mds_standbys)
         for _ in range(osd_crashes):
             osd = rng.randrange(num_osds)
             start = horizon * rng.uniform(0.15, 0.40)
@@ -231,6 +262,21 @@ class FaultPlan(object):
                 at=horizon * rng.uniform(0.35, 0.60),
                 target=rng.randrange(num_osds),
             )
+        # Metadata HA: crashes early enough that promotion + replay (and
+        # the duration-healed rejoin) settle in-horizon; splits fire
+        # before crashes so multi-rank failover gets exercised.
+        for _ in range(mds_rank_splits):
+            plan.schedule("mds_rank_split",
+                          at=horizon * rng.uniform(0.10, 0.20))
+        for _ in range(mds_crashes):
+            plan.schedule(
+                "mds_crash",
+                at=horizon * rng.uniform(0.25, 0.50),
+                duration=horizon * rng.uniform(0.15, 0.25),
+            )
+        for _ in range(mds_failovers):
+            plan.schedule("mds_failover",
+                          at=horizon * rng.uniform(0.30, 0.60))
         return plan
 
     def end_time(self):
@@ -272,6 +318,14 @@ class FaultPlan(object):
         if any(action.kind in MEMBERSHIP_KINDS for action in self.actions):
             world.cluster.start_backfill()
             world.cluster.monitor.start_heartbeats()
+        if any(action.kind in MDS_HA_KINDS for action in self.actions):
+            world.cluster.enable_mds_ha(standbys=max(1, self.mds_standbys))
+            world.cluster.monitor.start_heartbeats()
+        elif not self.oracle_meta and \
+                any(action.kind == "mds_down" for action in self.actions):
+            # Honest mds_down: journal without a failover pool, so the
+            # heal replays instead of resurrecting un-acked mutations.
+            world.cluster.enable_mds_ha(standbys=0)
         timed = sorted(
             (action for action in self.actions if action.at is not None),
             key=lambda action: action.at,
@@ -348,6 +402,20 @@ class FaultPlan(object):
             cluster.mds.set_available(False)
             if action.duration:
                 world.sim.spawn(self._heal(action), name="fault-heal")
+        elif action.kind == "mds_crash":
+            rank = action.target or 0
+            daemon = cluster.mds_service.active_daemon(rank)
+            action.params["gid"] = daemon.gid  # heal restores this daemon
+            daemon.crash()
+            if action.duration:
+                world.sim.spawn(self._heal(action), name="fault-heal")
+        elif action.kind == "mds_failover":
+            world.sim.spawn(
+                cluster.mds_service.failover(action.target or 0),
+                name="fault-mds-failover",
+            )
+        elif action.kind == "mds_rank_split":
+            cluster.mds_service.split_rank()
         elif action.kind == "service_crash":
             self._services[action.target].crash()
         elif action.kind == "osd_flap":
@@ -468,7 +536,17 @@ class FaultPlan(object):
         elif action.kind == "disk_slow":
             world.cluster.osds[action.target].device.set_slow_factor(1.0)
         elif action.kind == "mds_down":
-            world.cluster.mds.restart()
+            mds = world.cluster.mds
+            if self.oracle_meta or mds.journal is None:
+                # Legacy oracle heal: the in-memory namespace (including
+                # un-acked mutations) is resurrected wholesale.
+                mds.restart()
+            else:
+                yield from mds.recover_local()
+        elif action.kind == "mds_crash":
+            yield from world.cluster.mds_service.restore(
+                action.params["gid"]
+            )
 
     def _recover(self):
         """Run monitor recovery, riding out a concurrent partition."""

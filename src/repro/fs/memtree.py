@@ -101,6 +101,15 @@ class MemTree(object):
         self._next_ino += 1
         return ino
 
+    def _use_ino(self, ino):
+        """Take a caller-pinned inode number (journal replay must recreate
+        nodes under their original inos) or allocate a fresh one."""
+        if ino is None:
+            return self._alloc_ino()
+        if ino >= self._next_ino:
+            self._next_ino = ino + 1
+        return ino
+
     # -- lookup -----------------------------------------------------------
 
     def lookup(self, path):
@@ -130,7 +139,7 @@ class MemTree(object):
 
     # -- mutation ----------------------------------------------------------
 
-    def create_file(self, path, now=0.0, exclusive=False, mode=0o644):
+    def create_file(self, path, now=0.0, exclusive=False, mode=0o644, ino=None):
         """Create a regular file; returns the node (existing one unless
         ``exclusive``)."""
         parent_path, name = pathutil.split(path)
@@ -144,19 +153,19 @@ class MemTree(object):
             if existing.is_dir:
                 raise IsADirectory(path=path)
             return existing
-        node = Node(self._alloc_ino(), is_dir=False, now=now, mode=mode)
+        node = Node(self._use_ino(ino), is_dir=False, now=now, mode=mode)
         parent.children[name] = node
         parent.mtime = now
         return node
 
-    def mkdir(self, path, now=0.0, mode=0o755):
+    def mkdir(self, path, now=0.0, mode=0o755, ino=None):
         parent_path, name = pathutil.split(path)
         if not name:
             raise FileExists(path="/")
         parent = self.lookup_dir(parent_path)
         if name in parent.children:
             raise FileExists(path=path)
-        node = Node(self._alloc_ino(), is_dir=True, now=now, mode=mode)
+        node = Node(self._use_ino(ino), is_dir=True, now=now, mode=mode)
         parent.children[name] = node
         parent.nlink += 1
         parent.mtime = now

@@ -98,6 +98,7 @@ def merge_profiles(observers):
     observers = [obs for obs in observers if obs is not None]
     lock_rows, steal_rows, dispatch_rows, fold = [], [], [], []
     recovery_rows = []
+    mds_rows = []
     trace_counts = {}
     for index, obs in enumerate(observers):
         tag = "w%d" % index
@@ -117,6 +118,10 @@ def merge_profiles(observers):
             row = dict(row)
             row["world"] = tag
             recovery_rows.append(row)
+        for row in obs.mds_profile():
+            row = dict(row)
+            row["world"] = tag
+            mds_rows.append(row)
         for (cat, name), count in obs.summary():
             key = (cat, name)
             trace_counts[key] = trace_counts.get(key, 0) + count
@@ -127,6 +132,7 @@ def merge_profiles(observers):
         "core_steal": steal_rows,
         "dispatch": dispatch_rows,
         "recovery": recovery_rows,
+        "mds": mds_rows,
         "trace_summary": [
             {"category": cat, "name": name, "count": count}
             for (cat, name), count in sorted(

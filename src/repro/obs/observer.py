@@ -476,6 +476,36 @@ class Observer(object):
             })
         return rows
 
+    def mds_profile(self):
+        """Metadata-HA rows from the ``mds`` scope.
+
+        One row per metric, counters first, then gauges (final value
+        plus high-water mark): per-rank journal appends, fenced ops,
+        dedup hits and replay counts (``r<rank>.*``), service-wide
+        failovers and the mdsmap epoch, plus per-rank journal lag /
+        session count / replay duration gauges. Empty when metadata HA
+        never armed (the scope's ``service_s`` histogram alone does not
+        produce rows).
+        """
+        registry = self._scopes.get("mds")
+        if registry is None:
+            return []
+        rows = []
+        for name in sorted(registry.counters):
+            rows.append({
+                "metric": name,
+                "value": registry.counters[name].value,
+                "high_water": None,
+            })
+        for name in sorted(registry.gauges):
+            gauge = registry.gauges[name]
+            rows.append({
+                "metric": name,
+                "value": gauge.value,
+                "high_water": gauge.high_water,
+            })
+        return rows
+
     def fold(self):
         """Flamegraph-style folded stacks from the completed spans.
 
@@ -511,6 +541,7 @@ class Observer(object):
             "core_steal": self.core_steal_profile(),
             "dispatch": self.dispatch_profile(),
             "recovery": self.recovery_profile(),
+            "mds": self.mds_profile(),
             "cpu_by_core": {
                 core: dict(sorted(threads.items()))
                 for core, threads in sorted(self.cpu_profile().items())

@@ -8,6 +8,7 @@ __all__ = [
     "format_lock_table",
     "format_core_steal",
     "format_dispatch_table",
+    "format_mds_table",
     "format_recovery_table",
     "format_trace_summary",
 ]
@@ -113,6 +114,29 @@ def format_recovery_table(rows):
     """
     if not rows:
         return "(membership lifecycle never armed)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "metric", "value", "high_water",
+    ]
+    body = []
+    for row in rows:
+        high = row.get("high_water")
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row["metric"],
+            row["value"],
+            "-" if high is None else high,
+        ])
+    return _render(headers, body)
+
+
+def format_mds_table(rows):
+    """Render metadata-HA rows (dicts from ``Observer.mds_profile``).
+
+    Same shape as the recovery table: counters show totals, gauges show
+    the final value plus high-water mark.
+    """
+    if not rows:
+        return "(metadata HA never armed)"
     tagged = any("world" in row for row in rows)
     headers = (["world"] if tagged else []) + [
         "metric", "value", "high_water",

@@ -3,7 +3,8 @@
 from repro.storage.backfill import BackfillScheduler
 from repro.storage.cluster import CephCluster
 from repro.storage.crush import CrushMap
-from repro.storage.mds import InodeInfo, Mds
+from repro.storage.mds import InodeInfo, Mds, MdsJournal, MdsService
+from repro.storage.mdsmap import MdsMap
 from repro.storage.monitor import Monitor, OsdMap
 from repro.storage.osd import Osd
 from repro.storage.scrub import ScrubDaemon
@@ -14,6 +15,9 @@ __all__ = [
     "CrushMap",
     "InodeInfo",
     "Mds",
+    "MdsJournal",
+    "MdsMap",
+    "MdsService",
     "Monitor",
     "Osd",
     "OsdMap",

@@ -37,7 +37,13 @@ class CephCluster(object):
         self.costs = costs
         self.crush = CrushMap(num_osds, replicas=replicas)
         self.osds = [Osd(sim, i, costs) for i in range(num_osds)]
-        self.mds = Mds(sim, costs)
+        self._mds = Mds(sim, costs)
+        #: metadata-HA coordinator, once enable_mds_ha runs; None keeps
+        #: the historical single-MDS shape (and event schedule) exactly.
+        self.mds_service = None
+        #: client-side MdsMap snapshot (set when HA arms); like _osdmap,
+        #: refreshed only on retry boundaries so fencing is observable.
+        self._mdsmap = None
         self.monitor = Monitor(self)
         self.metrics = MetricSet("cluster")
         self._cap_clients = {}  # client_id -> client (caps-mode only)
@@ -90,6 +96,24 @@ class CephCluster(object):
         self._osdmap = self.monitor.get_map()
 
     @property
+    def mds(self):
+        """The metadata daemon the single-MDS surface talks to.
+
+        Disarmed this is the one historical daemon; with HA armed it is
+        rank 0's current active, so legacy reaches (``.tree``,
+        ``.session_epoch``, ``.node_of``) keep working across failover.
+        """
+        if self.mds_service is not None:
+            return self.mds_service.active_daemon(0)
+        return self._mds
+
+    def mds_healthy(self):
+        """Every metadata rank live and serving (single daemon: up)."""
+        if self.mds_service is not None:
+            return self.mds_service.healthy()
+        return self._mds.available and not self._mds.crashed
+
+    @property
     def degraded(self):
         """True while any OSD is marked down."""
         return bool(self.monitor._down)
@@ -135,6 +159,49 @@ class CephCluster(object):
         self._lifecycle_armed = True
         self.monitor.lifecycle = True
         self._osdmap = self.monitor.get_map()
+
+    def enable_mds_ha(self, standbys=1, ranks=1):
+        """Arm metadata HA: journaled MDS ranks + standby-replay pool.
+
+        Guarded exactly like :meth:`arm_faults`: never called on the
+        fault-free fast path, so HA-off runs keep the exact single-MDS
+        event schedule. Once armed, every metadata mutation journals
+        through the OSD write path before acking, clients stamp ops with
+        the mdsmap epoch (fencing) and op ids (exactly-once resends),
+        and the monitor's heartbeat loop drives failover. ``standbys=0``
+        journals without a failover pool — the honest-crash substrate
+        for in-place ``mds_down`` recovery.
+        """
+        from repro.storage.mds import MdsService
+        if self.mds_service is None:
+            self.mds_service = MdsService(self, standbys=standbys,
+                                          ranks=ranks)
+        else:
+            while len(self.mds_service.standby_gids) < standbys:
+                self.mds_service.add_standby()
+            while self.mds_service.num_ranks < max(1, ranks):
+                self.mds_service.split_rank()
+        self._mdsmap = self.monitor.mdsmap
+        return self.mds_service
+
+    def mds_session_id(self):
+        """Allocate a metadata session id (shares the caps id space so
+        one client is one principal across both tables)."""
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        return client_id
+
+    def _refresh_mds_map(self):
+        """Adopt the monitor's current mdsmap if ours is stale."""
+        current = self.monitor.mdsmap
+        if current is not None and current is not self._mdsmap:
+            self._mdsmap = current
+            self.metrics.counter("mdsmap_refreshes").add(1)
+
+    def _mds_target(self, op_name, args):
+        """The daemon serving one op under the current mdsmap snapshot."""
+        rank = self._mdsmap.rank_for(op_name, args)
+        return self.mds_service.daemons[self._mdsmap.gid_of(rank)]
 
     def start_backfill(self, **kwargs):
         """Create (if needed) and start the throttled backfill scheduler."""
@@ -200,7 +267,9 @@ class CephCluster(object):
             or self._integrity_armed
             or self._lifecycle_armed
             or self.degraded
-            or not self.mds.available
+            or self.mds_service is not None
+            or not self._mds.available
+            or self._mds.crashed
             or any(osd.crashed for osd in self.osds)
         )
 
@@ -1067,8 +1136,18 @@ class CephCluster(object):
         answers and propagate immediately. No race is needed here — a
         dead MDS raises its own :class:`OpTimeout` after the detection
         window.
+
+        With metadata HA armed the target daemon is re-resolved *per
+        attempt* through the client's mdsmap snapshot — refreshed only on
+        retry boundaries, so a deposed active observably fences a stale
+        op (:class:`OldEpoch`) before the resend re-routes to the
+        promoted standby — and every op is stamped with the snapshot's
+        epoch. Client op-id stamps (exactly-once dedup) ride through in
+        ``kwargs`` untouched.
         """
-        op = getattr(self.mds, op_name)
+        service = self.mds_service
+        if service is None:
+            op = getattr(self._mds, op_name)
         delay = self.costs.retry_backoff
         last_err = None
         for attempt in range(self.costs.retry_attempts):
@@ -1079,10 +1158,19 @@ class CephCluster(object):
                                error=type(last_err).__name__)
                 yield self.sim.timeout(delay)
                 delay = min(delay * 2.0, self.costs.retry_backoff_max)
+                if service is not None:
+                    self._refresh_mds_map()
+            if service is not None:
+                daemon = self._mds_target(op_name, args)
+                op = getattr(daemon, op_name)
+                kwargs["map_epoch"] = self._mdsmap.epoch
             try:
                 return (yield from self.fabric.rpc(
                     op(*args, **kwargs), send_bytes=256, recv_bytes=256
                 ))
+            except OldEpoch as err:
+                self.metrics.counter("mds_stale_map_rejects").add(1)
+                last_err = err
             except RETRYABLE as err:
                 last_err = err
         raise last_err

@@ -114,6 +114,8 @@ class Monitor(object):
         self._subscribers = []
         self._map = OsdMap(self.epoch, self._down, self._out,
                            self.cluster.crush)
+        #: the current MdsMap snapshot, once metadata HA is armed
+        self.mdsmap = None
 
     # -- map publication -------------------------------------------------
 
@@ -146,6 +148,22 @@ class Monitor(object):
                 osd.map_epoch = self.epoch
         for callback in self._subscribers:
             callback(self._map)
+
+    def publish_mdsmap(self, mdsmap, event="mdsmap", rank=None):
+        """Publish a new :class:`~repro.storage.mdsmap.MdsMap` snapshot.
+
+        The metadata analogue of an osdmap epoch bump: the MdsService
+        builds the immutable map (failover, rank split, rejoin) and the
+        monitor records + announces it. Clients resolve MDS routing
+        against :attr:`mdsmap` and refresh on retry boundaries, which is
+        what makes a deposed active's EOLDEPOCH reject observable.
+        """
+        self.mdsmap = mdsmap
+        trace = {"epoch": mdsmap.epoch}
+        if rank is not None:
+            trace["rank"] = rank
+        self.cluster.sim.trace("mon", event, **trace)
+        self.metrics.counter("mdsmap_epochs").add(1)
 
     def note_crush_change(self, event):
         """A CRUSH mutation (add/drain/reweight) is a map change too."""
@@ -360,6 +378,12 @@ class Monitor(object):
                 if since is not None and \
                         sim.now - since >= costs.osd_out_interval:
                     self.mark_out(osd_id)
+            # MDS rank liveness rides the same probe cadence. Pure
+            # attribute read when HA is disarmed (mds_service is None),
+            # so heartbeat-only runs keep their exact event schedule.
+            service = self.cluster.mds_service
+            if service is not None:
+                service.check_heartbeats()
 
     # -- placement under failure ------------------------------------------------
 

@@ -164,6 +164,91 @@ def test_caps_grant_latency_includes_flush(sim, machine, cluster, costs):
     assert open_latency > units.mib(2) / (4 * units.GIB)
 
 
+def test_cap_revoke_racing_client_crash_does_not_block(sim, machine, cluster,
+                                                       costs):
+    """A revoke aimed at a client that died mid-protocol must neither
+    block the conflicting open nor resurrect the dead client's unflushed
+    buffer; its stale cap records are cleaned up by the grant commit."""
+    writer = make_caps_client(sim, machine, cluster, costs, "wc")
+    reader = make_caps_client(sim, machine, cluster, costs, "rc")
+    task = make_task(sim, machine)
+
+    def proc():
+        yield from writer.write_file(task, "/race", b"durable!", sync=True)
+        handle = yield from writer.open(task, "/race", OpenFlags.RDWR)
+        yield from writer.write(task, handle, 0, b"buffered")
+        # SIGKILL between the conflict computation and the revoke
+        # delivery: the client vanishes from the registry while its cap
+        # records linger at the MDS.
+        del cluster._cap_clients[writer.client_id]
+        return (yield from reader.read_file(task, "/race"))
+
+    data = run(sim, proc())
+    # The dirty buffer died with the process; only durable bytes remain.
+    assert data == b"durable!"
+    ino = cluster.mds.node_of("/race").ino
+    # The grant commit cleaned up the dead holder's conflicting cap.
+    assert not cluster.mds.caps.held(ino, writer.client_id) & CAP_WRITE_BUFFER
+    assert cluster.mds.caps.held(ino, reader.client_id) & CAP_READ_CACHE
+    assert reader.metrics.counter("caps_revoked").value == 0
+
+
+def test_caps_reacquired_after_session_reconnect(sim, machine, cluster, costs):
+    """An MDS restart empties the caps table; the holder's next metadata
+    op reestablishes the session and re-grants what it held."""
+    client = make_caps_client(sim, machine, cluster, costs, "rw")
+    task = make_task(sim, machine)
+
+    def proc():
+        handle = yield from client.open(
+            task, "/held", OpenFlags.CREAT | OpenFlags.RDWR
+        )
+        yield from client.write(task, handle, 0, b"mine")
+        ino = cluster.mds.node_of("/held").ino
+        held_before = cluster.mds.caps.held(ino, client.client_id)
+        cluster.mds.restart()
+        assert cluster.mds.caps.held(ino, client.client_id) == 0
+        # Any metadata op triggers the reconnect protocol first.
+        yield from client.open(task, "/held", OpenFlags.RDWR)
+        return ino, held_before
+
+    ino, held_before = run(sim, proc())
+    assert held_before & CAP_WRITE_BUFFER
+    assert cluster.mds.caps.held(ino, client.client_id) == held_before
+    assert client.metrics.counter("sessions_reestablished").value == 1
+
+
+def test_conflicting_writers_stay_coherent_across_failover(sim, machine,
+                                                           cluster, costs):
+    """Caps survive an MDS failover through reacquisition: the first
+    writer reconnects to the promoted standby, and a second writer's
+    conflicting open still forces its flush — buffered data crosses the
+    failover boundary instead of being lost or served stale."""
+    first = make_caps_client(sim, machine, cluster, costs, "fw")
+    second = make_caps_client(sim, machine, cluster, costs, "sw")
+    task = make_task(sim, machine)
+    service = cluster.enable_mds_ha(standbys=1)
+
+    def proc():
+        handle = yield from first.open(
+            task, "/shared", OpenFlags.CREAT | OpenFlags.RDWR
+        )
+        yield from first.write(task, handle, 0, b"pre-failover bytes")
+        yield from service.failover(0)
+        # The first writer's next op reconnects under the new session
+        # epoch and reacquires its write caps from the promoted active.
+        yield from first.open(task, "/shared", OpenFlags.RDWR)
+        # The second writer's conflicting open must revoke them, forcing
+        # the pre-failover buffer to flush before it reads.
+        return (yield from second.read_file(task, "/shared"))
+
+    data = run(sim, proc())
+    assert data == b"pre-failover bytes"
+    assert service.metrics.counter("failovers").value == 1
+    assert first.metrics.counter("sessions_reestablished").value >= 1
+    assert first.metrics.counter("caps_revoked").value >= 1
+
+
 def test_close_to_open_clients_skip_caps_entirely(sim, machine, cluster, costs):
     account = machine.ram.child(units.mib(64), "plain.ram")
     client = CephLibClient(
