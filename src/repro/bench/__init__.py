@@ -4,6 +4,7 @@ from repro.bench.ablation import (
     CacheDedupAblation,
     ClientLockAblation,
     IpcQueueAblation,
+    LockingPolicyAblation,
 )
 from repro.bench.charts import bar_chart, grouped_bar_chart, spark
 from repro.bench.fileserver_exp import FileserverScaleout
@@ -31,6 +32,7 @@ __all__ = [
     "CacheDedupAblation",
     "ClientLockAblation",
     "IpcQueueAblation",
+    "LockingPolicyAblation",
     "WORKLOADS",
     "COMPOSITES",
     "describe",

@@ -24,7 +24,8 @@ __all__ = ["SequentialScaleout", "run_sequential"]
 SEQ_PARAMS = dict(file_size=units.mib(8), iosize=units.mib(1), threads=4)
 
 
-def run_sequential(symbol, n_pools, mode, duration=3.0, seed=1):
+def run_sequential(symbol, n_pools, mode, duration=3.0, seed=1,
+                   locking=None):
     world = World(
         num_cores=max(2 * n_pools, 4), ram_bytes=units.gib(512),
         costs=scaled_costs(),
@@ -35,7 +36,8 @@ def run_sequential(symbol, n_pools, mode, duration=3.0, seed=1):
         pool = world.engine.create_pool(
             "p%d" % index, num_cores=2, ram_bytes=units.mib(96)
         )
-        factory = StackFactory(world, pool, symbol, cache_bytes=units.mib(48))
+        factory = StackFactory(world, pool, symbol, cache_bytes=units.mib(48),
+                               locking=locking)
         world.kernel.writeback.set_max_dirty(pool.ram, units.mib(16))
         mount = factory.mount_root("c0")
         cls = Seqwrite if mode == "write" else Seqread

@@ -10,12 +10,18 @@ The efficiency caveat is modelled faithfully too: by default every
 client-side critical section serialises on one global ``client_lock``
 (ceph tracker #23844), which limits cached-read concurrency — the paper's
 explanation for Danaus losing to the kernel client on cached sequential
-reads (Fig. 9 bottom). ``fine_grained_locking=True`` switches to per-inode
-locks, the refactoring the paper proposes as future work; the ablation
-benchmark measures exactly this switch.
+reads (Fig. 9 bottom). The ``locking=`` policy switches the sharding the
+paper proposes as future work (see :mod:`repro.cephclient.locking`):
+``"global"`` (the faithful default — its event schedule is pinned by the
+engine-bench fingerprints), ``"inode"`` (per-inode locks, the old
+``fine_grained_locking=True``), ``"range"`` (per-inode state locks plus
+per-object-range data locks) and ``"adaptive"`` (watches the measured
+contention and switches between the three at runtime). The ``abl-locking``
+ablation quantifies each step.
 """
 
 from repro.cephclient.cache import ObjectCache
+from repro.cephclient.locking import AdaptiveLockController, LockingPolicy
 from repro.common.errors import (
     RETRYABLE,
     BadFileDescriptor,
@@ -64,6 +70,7 @@ class CephLibClient(Filesystem):
         name="libceph",
         cache_bytes=None,
         fine_grained_locking=False,
+        locking=None,
         readahead_bytes=128 * 1024,
         start_flusher=True,
         consistency="close-to-open",
@@ -87,11 +94,23 @@ class CephLibClient(Filesystem):
             fingerprint_fn=fingerprint_fn,
         )
         self.max_dirty = cache_bytes // 2
-        self.fine_grained = fine_grained_locking
+        if locking is None:
+            # Legacy spelling: fine_grained_locking=True was per-inode.
+            locking = "inode" if fine_grained_locking else "global"
         self.readahead_bytes = readahead_bytes
         self.client_lock = Mutex(sim, name="%s.client_lock" % name)
         sim.register_lock(name, "client_lock", name, self.client_lock)
-        self._ino_locks = {}  # fine-grained mode: ino -> Mutex
+        self._locking = LockingPolicy(
+            sim, name, self.client_lock, locking,
+            range_stripe=costs.object_size,
+        )
+        self.fine_grained = locking != "global"
+        self._lock_controller = None
+        if locking == "adaptive":
+            self._lock_controller = AdaptiveLockController(
+                self._locking, costs
+            )
+            self._lock_controller.start()
         self.attr_cache = {}  # path -> InodeInfo (sizes kept current locally)
         self._sizes = {}  # ino -> local authoritative size
         self._paths = {}  # ino -> path (for size flush to the MDS)
@@ -136,26 +155,21 @@ class CephLibClient(Filesystem):
         self.osdmap_epoch = osdmap.epoch
 
     # -- locking ---------------------------------------------------------
-
-    def _lock(self, ino):
-        if not self.fine_grained:
-            return self.client_lock
-        lock = self._ino_locks.get(ino)
-        if lock is None:
-            lock = self._ino_locks[ino] = Mutex(
-                self.sim, name="%s.ino%d" % (self.name, ino)
-            )
-            self.sim.register_lock(self.name, "ino_lock", ino, lock)
-        return lock
+    #
+    # Every access to the shared per-inode state (``attr_cache``,
+    # ``_sizes``, ``_seq_end``, ``_dirty_since``, cap masks, the dirty
+    # buffer) goes through the policy's *state* sections; cached-byte
+    # sections (insert/write/overlay/flush) go through its *data* and
+    # *fetch* sections. Path-namespace ops share the ``-1`` pseudo-inode
+    # state lock. The discipline table lives in ``docs/architecture.md``.
 
     def _locked_cpu(self, task, ino, cpu_seconds):
-        """Run CPU work under the client lock (the serialisation point)."""
-        lock = self._lock(ino)
-        yield lock.acquire(who=task)
+        """Run CPU work under the state lock(s) — the serialisation point."""
+        token = yield from self._locking.acquire_state(ino, who=task)
         try:
             yield from task.cpu(cpu_seconds)
         finally:
-            lock.release()
+            self._locking.release(token)
 
     # -- attribute handling ------------------------------------------------
 
@@ -246,21 +260,31 @@ class CephLibClient(Filesystem):
         revoke_task = Task(self.flusher_thread, pool=None)
         if caps & CAP_WRITE_BUFFER and self._has_dirty(ino):
             yield from self._flush_ino(revoke_task, ino)
-        if caps & CAP_READ_CACHE:
-            # Drop cached data and attributes so the next access refetches.
-            self.cache.drop_ino(ino)
-            path = self._paths.get(ino)
-            if path is not None:
-                self.attr_cache.pop(path, None)
-            self._seq_end.pop(ino, None)
-            self._prefetcher.forget(ino)
-        held = self._held_caps.get(ino)
-        if held is not None:
-            held &= ~caps
-            if held:
-                self._held_caps[ino] = held
-            else:
-                del self._held_caps[ino]
+        # Invalidate and shrink the cap mask under the inode's state lock:
+        # in the fine-grained policies a reader holds that lock across its
+        # scan/copy-out sections, so the revoke cannot interleave with a
+        # half-done read between the reader's lock drops (the flush above
+        # takes — and must take — the same lock internally, hence two
+        # sections rather than one).
+        token = yield from self._locking.acquire_state(ino, who=revoke_task)
+        try:
+            if caps & CAP_READ_CACHE:
+                # Drop cached data and attributes; the next access refetches.
+                self.cache.drop_ino(ino)
+                path = self._paths.get(ino)
+                if path is not None:
+                    self.attr_cache.pop(path, None)
+                self._seq_end.pop(ino, None)
+                self._prefetcher.forget(ino)
+            held = self._held_caps.get(ino)
+            if held is not None:
+                held &= ~caps
+                if held:
+                    self._held_caps[ino] = held
+                else:
+                    del self._held_caps[ino]
+        finally:
+            self._locking.release(token)
         self.metrics.counter("caps_revoked").add(1)
         self.sim.trace("client", "cap_revoke", client=self.name, ino=ino,
                        caps=caps)
@@ -325,8 +349,8 @@ class CephLibClient(Filesystem):
         return data
 
     def _read(self, task, ino, offset, size, obs):
-        lock = self._lock(ino)
-        yield lock.acquire(who=task)
+        locking = self._locking
+        token = yield from locking.acquire_state(ino, who=task)
         try:
             yield from task.cpu(self.costs.ceph_client_op)
             file_size = max(
@@ -343,15 +367,15 @@ class CephLibClient(Filesystem):
                 registry.counter("cache_miss_ranges").add(len(miss_ranges))
             if hit_blocks:
                 yield from task.cpu(self.costs.page_op * hit_blocks)
+            sequential = offset == self._seq_end.get(ino, 0)
         finally:
-            lock.release()
-        sequential = offset == self._seq_end.get(ino, 0)
+            locking.release(token)
         if sequential and miss_ranges and self._prefetcher.active(ino):
             # The previous read's pipelined prefetch covers (part of) this
             # window and is still travelling: adopt it instead of issuing
             # a duplicate fetch, then rescan for whatever remains missing.
             yield from self._prefetcher.join(ino)
-            yield lock.acquire(who=task)
+            token = yield from locking.acquire_state(ino, who=task)
             try:
                 rescanned, miss_ranges = self.cache.scan(ino, offset, size)
                 if rescanned > hit_blocks:
@@ -359,31 +383,43 @@ class CephLibClient(Filesystem):
                         self.costs.page_op * (rescanned - hit_blocks)
                     )
             finally:
-                lock.release()
+                locking.release(token)
         for miss_offset, miss_size in miss_ranges:
             fetch = plan_fetch(miss_offset, miss_size, file_size,
                                self.readahead_bytes, sequential)
-            # Network fetch happens outside the client lock (the lock is
-            # dropped while waiting on the OSDs, as in libcephfs).
-            yield from self.cluster.read_extent(ino, miss_offset, fetch)
-            yield from task.cpu(self.costs.payload_cost(fetch))
-            yield lock.acquire(who=task)
+            # Network fetch happens outside the client/inode lock (dropped
+            # while waiting on the OSDs, as in libcephfs); the fine data
+            # policies instead hold the covering *range* locks so a
+            # flush-in-flight of the same bytes cannot be overtaken.
+            fetch_token = yield from locking.acquire_fetch(
+                ino, miss_offset, fetch, who=task
+            )
             try:
-                self.cache.insert(ino, miss_offset, fetch)
+                yield from self.cluster.read_extent(ino, miss_offset, fetch)
+                yield from task.cpu(self.costs.payload_cost(fetch))
+                if fetch_token:
+                    self.cache.insert(ino, miss_offset, fetch)
             finally:
-                lock.release()
+                locking.release(fetch_token)
+            if not fetch_token:
+                token = yield from locking.acquire_state(ino, who=task)
+                try:
+                    self.cache.insert(ino, miss_offset, fetch)
+                finally:
+                    locking.release(token)
         # Assemble and copy out *under the lock*: this serialisation is the
-        # client_lock bottleneck the paper identifies for cached reads.
-        yield lock.acquire(who=task)
+        # client_lock bottleneck the paper identifies for cached reads —
+        # under the range policy only the covering stripes serialise.
+        token = yield from locking.acquire_data(ino, offset, size, who=task)
         try:
             base = self.cluster_peek(ino, offset, size)
             data = self.cache.overlay(ino, offset, size, base)
             if len(data) > size:
                 data = data[:size]
             yield from task.cpu(self.costs.copy_cost(len(data)))
+            self._seq_end[ino] = offset + len(data)
         finally:
-            lock.release()
-        self._seq_end[ino] = offset + len(data)
+            locking.release(token)
         if sequential:
             # Pipelined readahead: fetch the next window with a detached
             # child while the caller copies the current one out. The
@@ -402,28 +438,39 @@ class CephLibClient(Filesystem):
 
     def _prefetch(self, ino, offset, size):
         """Detached next-window prefetch (see :class:`Prefetcher`)."""
-        lock = self._lock(ino)
-        yield lock.acquire(who=None)
+        locking = self._locking
+        token = yield from locking.acquire_state(ino, who=None)
         try:
             if ino not in self._sizes:
                 return  # unlinked while queued
             _hits, missing = self.cache.scan(ino, offset, size)
         finally:
-            lock.release()
+            locking.release(token)
         for miss_offset, miss_size in missing:
             miss_size = min(
                 miss_size, max(self._local_size(ino) - miss_offset, 0)
             )
             if miss_size <= 0:
                 continue
-            yield from self.cluster.read_extent(ino, miss_offset, miss_size)
-            yield self.sim.timeout(self.costs.payload_cost(miss_size))
-            yield lock.acquire(who=None)
+            fetch_token = yield from locking.acquire_fetch(
+                ino, miss_offset, miss_size, who=None
+            )
             try:
-                if ino in self._sizes:
+                yield from self.cluster.read_extent(
+                    ino, miss_offset, miss_size
+                )
+                yield self.sim.timeout(self.costs.payload_cost(miss_size))
+                if fetch_token and ino in self._sizes:
                     self.cache.insert(ino, miss_offset, miss_size)
             finally:
-                lock.release()
+                locking.release(fetch_token)
+            if not fetch_token:
+                token = yield from locking.acquire_state(ino, who=None)
+                try:
+                    if ino in self._sizes:
+                        self.cache.insert(ino, miss_offset, miss_size)
+                finally:
+                    locking.release(token)
 
     def cluster_peek(self, ino, offset, size):
         """Resident-byte assembly; see :meth:`CephCluster.peek`."""
@@ -447,22 +494,34 @@ class CephLibClient(Filesystem):
 
     def write(self, task, handle, offset, data):
         ino = self._live_ino(handle)
-        if handle.flags & OpenFlags.APPEND:
-            offset = self._local_size(ino)
+        append = bool(handle.flags & OpenFlags.APPEND)
         obs = self.sim.observer
         span = obs.span(task, "client.write", "client", ino=ino,
                         size=len(data)) if obs is not None else None
         try:
-            written = yield from self._write(task, ino, offset, data)
+            written = yield from self._write(task, ino, offset, data,
+                                             append=append)
         finally:
             if span is not None:
                 span.end()
         return written
 
-    def _write(self, task, ino, offset, data):
-        lock = self._lock(ino)
-        yield lock.acquire(who=task)
+    def _write(self, task, ino, offset, data, append=False):
+        locking = self._locking
+        # The O_APPEND offset is resolved *under the state lock*: two
+        # concurrent appenders each see the size the other already
+        # advanced, instead of picking the same offset and clobbering.
+        token = yield from locking.acquire_state(ino, who=task)
         try:
+            if append:
+                offset = self._local_size(ino)
+            if locking.wants_range_data():
+                # Write sections take state + covering range locks (in
+                # that order): the buffered bytes are data a concurrent
+                # flusher or reader of the same stripes serialises with.
+                for lock in locking.range_locks(ino, offset, len(data)):
+                    yield lock.acquire(who=task)
+                    token = token + (lock,)
             yield from task.cpu(
                 self.costs.ceph_client_op + self.costs.copy_cost(len(data))
             )
@@ -471,7 +530,7 @@ class CephLibClient(Filesystem):
             self._sizes[ino] = new_size
             self._dirty_since.setdefault(ino, self.sim.now)
         finally:
-            lock.release()
+            locking.release(token)
         self.metrics.counter("bytes_written").add(len(data))
         # User-level dirty throttling: wait for the (pool-core) flusher.
         while self.cache.dirty_bytes > self.max_dirty:
@@ -480,6 +539,13 @@ class CephLibClient(Filesystem):
             yield self.sim.any_of(
                 [progress, self.sim.timeout(self.costs.writeback_interval)]
             )
+            if not progress.triggered:
+                # The timeout branch won: drop the stale waiter so a later
+                # flush does not wake (and leak callbacks on) a dead event.
+                try:
+                    self._flush_waiters.remove(progress)
+                except ValueError:
+                    pass
             self.metrics.counter("throttle_waits").add(1)
         return len(data)
 
@@ -489,7 +555,15 @@ class CephLibClient(Filesystem):
 
     def stat(self, task, path):
         path = pathutil.normalize(path)
-        yield from task.cpu(self.costs.ceph_client_op / 2)
+        if self._locking.policy == "global":
+            # Faithful libcephfs fast path (and pinned by the engine-bench
+            # fingerprints): stat consults the attr cache without a lock.
+            yield from task.cpu(self.costs.ceph_client_op / 2)
+        else:
+            # Fine-grained policies route stat through the same namespace
+            # state section as the other path ops (open/mkdir/rename).
+            yield from self._locked_cpu(task, -1,
+                                        self.costs.ceph_client_op / 2)
         info = self.attr_cache.get(path)
         if info is _NEGATIVE:
             raise FileNotFound(path=path)
@@ -529,7 +603,12 @@ class CephLibClient(Filesystem):
         self._paths.pop(ino, None)
         self._dirty_since.pop(ino, None)
         self._size_flushing.pop(ino, None)
+        self._seq_end.pop(ino, None)
         self._held_caps.pop(ino, None)
+        # Retire the inode's locks: a recycled ino gets fresh ones, and
+        # their stats fold into the registry's "retired" bucket instead
+        # of lingering as unreachable entries.
+        self._locking.drop_ino(ino)
         self.metrics.counter("unlinks").add(1)
 
     def readdir(self, task, path):
@@ -559,11 +638,28 @@ class CephLibClient(Filesystem):
         yield from self._truncate_ino(task, info.ino, path, size)
 
     def _truncate_ino(self, task, ino, path, size):
-        yield from self._locked_cpu(task, ino, self.costs.ceph_client_op)
-        # Buffered data beyond the cut is discarded; data below survives.
-        self.cache.truncate_dirty(ino, size)
-        yield from self.cluster.truncate(ino, size)
-        self._sizes[ino] = size
+        if self._locking.policy == "global":
+            # Faithful default: the lock covers only the CPU section; the
+            # backend truncate travels unlocked (pinned by the engine-bench
+            # fingerprints, and every write_file(TRUNC) crosses this path).
+            yield from self._locked_cpu(task, ino, self.costs.ceph_client_op)
+            # Buffered data beyond the cut is discarded; data below survives.
+            self.cache.truncate_dirty(ino, size)
+            yield from self.cluster.truncate(ino, size)
+            self._sizes[ino] = size
+        else:
+            # Fine-grained policies hold the state lock across the backend
+            # truncate: an appender resolving its offset between the object
+            # cut and the size update would write beyond the new end and
+            # then be silently clobbered by ``_sizes[ino] = size``.
+            token = yield from self._locking.acquire_state(ino, who=task)
+            try:
+                yield from task.cpu(self.costs.ceph_client_op)
+                self.cache.truncate_dirty(ino, size)
+                yield from self.cluster.truncate(ino, size)
+                self._sizes[ino] = size
+            finally:
+                self._locking.release(token)
         try:
             info = yield from self.cluster.mds_call(
                 "setattr_size", path, size, **self._mds_op_ids()
@@ -614,8 +710,9 @@ class CephLibClient(Filesystem):
         return flushed
 
     def _flush_ino_locked(self, task, ino, max_bytes):
-        lock = self._lock(ino)
-        yield lock.acquire(who=task)
+        if self._locking.wants_range_data():
+            return (yield from self._flush_ino_ranged(task, ino, max_bytes))
+        token = yield from self._locking.acquire_state(ino, who=task)
         try:
             extents = self.cache.take_dirty(ino, max_bytes)
             if not extents:
@@ -666,7 +763,91 @@ class CephLibClient(Filesystem):
             finally:
                 self._size_unpin(ino)
         finally:
-            lock.release()
+            self._locking.release(token)
+        if not self._has_dirty(ino):
+            self._dirty_since.pop(ino, None)
+        self.metrics.counter("bytes_flushed").add(flushed)
+        if self.sim.tracer is not None:
+            self.sim.trace("client", "flush", client=self.name, bytes=flushed)
+        self._notify_flush_progress()
+        return flushed
+
+    def _flush_ino_ranged(self, task, ino, max_bytes):
+        """Range-policy flush: three sections instead of one long hold.
+
+        1. *State* section: take the dirty batch, pin the size, and —
+           still under the inode lock, so the order inode < range holds —
+           acquire the range locks covering the batch.
+        2. Network phase under the *range locks only*: the in-flight
+           extents left the dirty buffer but have not landed on the
+           OSDs, so reads and writes of those stripes wait — but every
+           other stripe of the file stays available, which is the point
+           of the range policy. The inode lock is never reacquired while
+           ranges are held (deadlock freedom).
+        3. *State* section: publish the flushed size to the MDS and
+           unpin. A failure re-dirties the batch before propagating,
+           exactly like the coarse path.
+        """
+        locking = self._locking
+        held = []
+        state = yield from locking.acquire_state(ino, who=task)
+        try:
+            extents = self.cache.take_dirty(ino, max_bytes)
+            if not extents:
+                return 0
+            self._size_pin(ino)
+            try:
+                for lock in locking.extent_range_locks(ino, extents):
+                    yield lock.acquire(who=task)
+                    held.append(lock)
+            except BaseException:
+                # Killed while queueing for a range: nothing was sent, so
+                # the whole batch goes back to the dirty buffer.
+                for r_offset, r_data in extents:
+                    self.cache.write(ino, r_offset, r_data)
+                self._dirty_since.setdefault(ino, self.sim.now)
+                self._size_unpin(ino)
+                raise
+        finally:
+            locking.release(state)
+        try:
+            nbytes = sum(len(data) for _off, data in extents)
+            yield from task.cpu(self.costs.payload_cost(nbytes))
+            flushed = yield from self.cluster.write_vector(ino, extents)
+        except (FsError, ThreadKilled):
+            # Re-dirty the whole batch under the still-held range locks:
+            # with fan-out any subset may have landed, and rewriting a
+            # landed extent is idempotent (same bytes, same offset).
+            for r_offset, r_data in extents:
+                self.cache.write(ino, r_offset, r_data)
+            self._dirty_since.setdefault(ino, self.sim.now)
+            self.metrics.counter("flush_failures").add(1)
+            self._size_unpin(ino)
+            locking.release(tuple(held))
+            raise
+        locking.release(tuple(held))
+        state = yield from locking.acquire_state(ino, who=task)
+        try:
+            path = self._paths.get(ino)
+            if path is not None:
+                try:
+                    info = yield from self.cluster.mds_call(
+                        "setattr_size", path, self._local_size(ino),
+                        **self._mds_op_ids()
+                    )
+                    self._remember(path, info)
+                except FileNotFound:
+                    pass  # concurrently unlinked
+                except RETRYABLE:
+                    self.metrics.counter("size_flush_failures").add(1)
+                    self._size_pin(ino)  # released by _resend_size
+                    self.sim.spawn(
+                        self._resend_size(ino),
+                        name="%s.size-resend" % self.name,
+                    )
+        finally:
+            self._size_unpin(ino)
+            locking.release(state)
         if not self._has_dirty(ino):
             self._dirty_since.pop(ino, None)
         self.metrics.counter("bytes_flushed").add(flushed)
@@ -742,6 +923,8 @@ class CephLibClient(Filesystem):
 
     def stop(self):
         self._stopped = True
+        if self._lock_controller is not None:
+            self._lock_controller.stop()
 
     # -- internals -------------------------------------------------------------------
 

@@ -288,12 +288,15 @@ class CephKernelFs(Filesystem):
 
     def write(self, task, handle, offset, data):
         ino = self._live_ino(handle)
-        if handle.flags & OpenFlags.APPEND:
-            offset = self._local_size(ino)
+        append = bool(handle.flags & OpenFlags.APPEND)
         yield from task.cpu(self.costs.fs_op)
         if self.direct_io:
             from repro.common.errors import FileNotFound
 
+            if append:
+                # Resolved after the entry CPU slice, atomically with the
+                # dispatch of the backend write.
+                offset = self._local_size(ino)
             yield from self.cluster.write_extent(ino, offset, data)
             new_size = max(self._local_size(ino), offset + len(data))
             self._sizes[ino] = new_size
@@ -310,10 +313,15 @@ class CephKernelFs(Filesystem):
             return len(data)
         cf = self._cached_file(ino)
         account = self._account(task)
-        pages = self.costs.pages_of(offset, len(data))
         inode_lock = self._inode_lock(ino)
         yield inode_lock.acquire(who=task)
         try:
+            if append:
+                # The O_APPEND offset is resolved under i_rwsem, as the
+                # kernel client does: concurrent appenders each see the
+                # size the other already advanced.
+                offset = self._local_size(ino)
+            pages = self.costs.pages_of(offset, len(data))
             yield from task.cpu(
                 self.costs.kernel_lock_section + self.costs.page_op * pages
             )

@@ -169,6 +169,11 @@ def _emit_profile(args, name, observers, entry):
             print()
             print("metadata HA (journal, sessions, failover):")
             print(obs.format_mds_table(mds))
+        locking = merged["locking"]
+        if locking:
+            print()
+            print("adaptive locking (mode switches, final mode):")
+            print(obs.format_locking_table(locking))
     if args.trace is not None:
         print()
         print("trace summary:")

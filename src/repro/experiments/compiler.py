@@ -35,6 +35,7 @@ AXES = {
     "file_scaleup": ("symbol", "clones"),
     "serverless": ("symbol",),
     "ablation_lock": (),
+    "ablation_locking": (),
     "ablation_ipc": (),
     "ablation_dedup": (),
     "chaos": (),
@@ -139,6 +140,12 @@ def _build_ablation_lock(axes, params):
     return ClientLockAblation(**params)
 
 
+def _build_ablation_locking(axes, params):
+    from repro.bench import LockingPolicyAblation
+
+    return LockingPolicyAblation(**params)
+
+
 def _build_ablation_ipc(axes, params):
     from repro.bench import IpcQueueAblation
 
@@ -233,6 +240,7 @@ _BUILDERS = {
     "file_scaleup": _build_file_scaleup,
     "serverless": _build_serverless,
     "ablation_lock": _build_ablation_lock,
+    "ablation_locking": _build_ablation_locking,
     "ablation_ipc": _build_ablation_ipc,
     "ablation_dedup": _build_ablation_dedup,
 }

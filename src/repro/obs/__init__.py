@@ -21,6 +21,7 @@ from repro.obs.profile import (
     format_core_steal,
     format_dispatch_table,
     format_lock_table,
+    format_locking_table,
     format_mds_table,
     format_recovery_table,
     format_trace_summary,
@@ -30,7 +31,8 @@ __all__ = [
     "Observer", "Span", "TraceEvent",
     "chrome_trace", "merge_profiles",
     "format_lock_table", "format_core_steal", "format_dispatch_table",
-    "format_mds_table", "format_recovery_table", "format_trace_summary",
+    "format_locking_table", "format_mds_table", "format_recovery_table",
+    "format_trace_summary",
     "set_default", "clear_default", "default_spec",
     "attached", "reset_attached",
 ]

@@ -99,6 +99,7 @@ def merge_profiles(observers):
     lock_rows, steal_rows, dispatch_rows, fold = [], [], [], []
     recovery_rows = []
     mds_rows = []
+    locking_rows = []
     trace_counts = {}
     for index, obs in enumerate(observers):
         tag = "w%d" % index
@@ -122,6 +123,10 @@ def merge_profiles(observers):
             row = dict(row)
             row["world"] = tag
             mds_rows.append(row)
+        for row in obs.locking_profile():
+            row = dict(row)
+            row["world"] = tag
+            locking_rows.append(row)
         for (cat, name), count in obs.summary():
             key = (cat, name)
             trace_counts[key] = trace_counts.get(key, 0) + count
@@ -133,6 +138,7 @@ def merge_profiles(observers):
         "dispatch": dispatch_rows,
         "recovery": recovery_rows,
         "mds": mds_rows,
+        "locking": locking_rows,
         "trace_summary": [
             {"category": cat, "name": name, "count": count}
             for (cat, name), count in sorted(

@@ -506,6 +506,33 @@ class Observer(object):
             })
         return rows
 
+    def locking_profile(self):
+        """Adaptive locking-policy rows from the ``locking`` scope.
+
+        One row per metric, counters first, then gauges (final value
+        plus high-water mark): mode switches (total and per target
+        mode) and the final mode index (0=global, 1=inode, 2=range).
+        Empty when no adaptive locking policy ran.
+        """
+        registry = self._scopes.get("locking")
+        if registry is None:
+            return []
+        rows = []
+        for name in sorted(registry.counters):
+            rows.append({
+                "metric": name,
+                "value": registry.counters[name].value,
+                "high_water": None,
+            })
+        for name in sorted(registry.gauges):
+            gauge = registry.gauges[name]
+            rows.append({
+                "metric": name,
+                "value": gauge.value,
+                "high_water": gauge.high_water,
+            })
+        return rows
+
     def fold(self):
         """Flamegraph-style folded stacks from the completed spans.
 
@@ -542,6 +569,7 @@ class Observer(object):
             "dispatch": self.dispatch_profile(),
             "recovery": self.recovery_profile(),
             "mds": self.mds_profile(),
+            "locking": self.locking_profile(),
             "cpu_by_core": {
                 core: dict(sorted(threads.items()))
                 for core, threads in sorted(self.cpu_profile().items())

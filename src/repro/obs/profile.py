@@ -8,6 +8,7 @@ __all__ = [
     "format_lock_table",
     "format_core_steal",
     "format_dispatch_table",
+    "format_locking_table",
     "format_mds_table",
     "format_recovery_table",
     "format_trace_summary",
@@ -137,6 +138,30 @@ def format_mds_table(rows):
     """
     if not rows:
         return "(metadata HA never armed)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "metric", "value", "high_water",
+    ]
+    body = []
+    for row in rows:
+        high = row.get("high_water")
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row["metric"],
+            row["value"],
+            "-" if high is None else high,
+        ])
+    return _render(headers, body)
+
+
+def format_locking_table(rows):
+    """Render adaptive-locking rows (dicts from ``Observer.locking_profile``).
+
+    Same shape as the recovery table: counters show totals, gauges show
+    the final value plus high-water mark (the ``mode`` gauge is the mode
+    index: 0=global, 1=inode, 2=range).
+    """
+    if not rows:
+        return "(no adaptive locking policy ran)"
     tagged = any("world" in row for row in rows)
     headers = (["world"] if tagged else []) + [
         "metric", "value", "high_water",

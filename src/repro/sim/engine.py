@@ -462,6 +462,15 @@ class Simulator(object):
         """All locks registered so far: ``(scope, class, instance, lock)``."""
         return list(self._locks)
 
+    def unregister_lock(self, lock):
+        """Drop a lock from the contention registry (by identity).
+
+        Used when the guarded object goes away for good (e.g. an
+        unlinked inode): a recycled instance key then registers a fresh
+        lock instead of aliasing the departed one's stats.
+        """
+        self._locks = [entry for entry in self._locks if entry[3] is not lock]
+
     # -- scheduling internals ------------------------------------------
 
     def _schedule(self, when, fn, arg=None):

@@ -58,7 +58,8 @@ class StackFactory(object):
     """Builds container mounts of one pool for a Table-1 configuration."""
 
     def __init__(self, world, pool, symbol, cache_bytes=None,
-                 fine_grained_locking=False, single_queue=False):
+                 fine_grained_locking=False, locking=None,
+                 single_queue=False):
         validate_symbol(symbol)
         self.world = world
         self.pool = pool
@@ -67,7 +68,13 @@ class StackFactory(object):
         self.kernel = world.kernel_for(pool.machine)
         self.symbol = symbol
         self.cache_bytes = cache_bytes
-        self.fine_grained = fine_grained_locking
+        # ``locking`` names the client locking policy (global/inode/
+        # range/adaptive); ``fine_grained_locking`` is the legacy boolean
+        # spelling of "inode".
+        if locking is None:
+            locking = "inode" if fine_grained_locking else "global"
+        self.locking = locking
+        self.fine_grained = locking != "global"
         self.single_queue = single_queue
         self._shared = {}
         # The paper's dirty limits: 50% of pool RAM for the kernel client.
@@ -92,7 +99,7 @@ class StackFactory(object):
                 cpuset=self.pool.cores,
                 name="%s.libceph" % self.pool.name,
                 cache_bytes=self.cache_bytes,
-                fine_grained_locking=self.fine_grained,
+                locking=self.locking,
             )
             self._shared["lib_client"] = client
         return client

@@ -58,16 +58,25 @@ class Seqread(Workload):
 
     def __init__(self, fs, pool, duration=20.0, threads=4,
                  file_size=8 * 1024 * 1024, iosize=1 << 20, seed=0,
-                 directory="/seq", warm_cache=True):
+                 directory="/seq", warm_cache=True, shared_file=False):
         super().__init__(fs, pool, duration=duration, threads=threads, seed=seed)
         self.file_size = file_size
         self.iosize = iosize
         self.directory = directory
         self.warm_cache = warm_cache
+        #: all threads stream one hot file (staggered start offsets)
+        #: instead of one file each — per-inode locking degenerates to a
+        #: single lock again, which is what range locking addresses
+        self.shared_file = shared_file
+
+    def _path(self, worker_id):
+        return "%s/r%02d" % (self.directory,
+                             0 if self.shared_file else worker_id)
 
     def setup(self, task):
         yield from self.fs.makedirs(task, self.directory)
-        for worker_id in range(self.threads):
+        n_files = 1 if self.shared_file else self.threads
+        for worker_id in range(n_files):
             path = "%s/r%02d" % (self.directory, worker_id)
             data = self.payload(self.file_size, worker_id)
             yield from self.fs.write_file(task, path, data, sync=True)
@@ -75,9 +84,14 @@ class Seqread(Workload):
                 yield from self.fs.read_file(task, path)
 
     def worker(self, task, worker_id, rng):
-        path = "%s/r%02d" % (self.directory, worker_id)
+        path = self._path(worker_id)
         handle = yield from self.fs.open(task, path)
         offset = 0
+        if self.shared_file and self.threads:
+            # Stagger start offsets (iosize-aligned) so the threads sweep
+            # disjoint regions of the shared file most of the time.
+            offset = (worker_id * (self.file_size // self.threads)
+                      // self.iosize) * self.iosize
         try:
             while not self.expired:
                 data = yield from self.timed_op(
