@@ -2,21 +2,41 @@
 """Wall-clock benchmark harness for the DES engine and the stacks on it.
 
 Runs the reference scenarios (pure-engine micro loops, a sequential-read
-stack, a chaos run, the Fig. 11 scale-up sweep), measures wall-clock
-seconds for each, and records a *behavior fingerprint* per scenario — a
-stable hash of the simulated outcome (event-schedule-sensitive values:
-final times, throughputs, chaos determinism fingerprints). Two engines
-that schedule byte-identically produce equal fingerprints, so the file
-doubles as a determinism witness for scheduler changes.
+stack, a chaos run, the striped fan-out path, the Fig. 11 scale-up
+sweeps, a multi-host fleet), measures wall-clock seconds for each, and
+records a *behavior fingerprint* per scenario — a stable hash of the
+simulated outcome (event-schedule-sensitive values: final times,
+throughputs, chaos determinism fingerprints). Two engines that schedule
+byte-identically produce equal fingerprints, so the file doubles as a
+determinism witness for scheduler changes.
+
+Multi-host-shaped scenarios decompose into independent per-simulated-
+machine *tasks* (one world each — the embarrassingly-parallel partition
+case of ``repro.sim.parallel``). ``--parallel N`` runs each such
+scenario twice: sequentially, then with its tasks fanned over ``N``
+worker processes. The two runs must produce identical fingerprints
+(asserted hard — a mismatch exits non-zero immediately) and the record
+gains per-scenario parallel wall/speedup cells.
+
+Every record carries the core count and Python version (top-level and
+per scenario): ``check_against`` refuses to compare wall-clock across a
+Python-minor mismatch and skips parallel/speedup comparisons across a
+core-count mismatch, so baselines are never diffed against an
+incompatible environment.
 
 Usage:
     PYTHONPATH=src python scripts/bench_engine.py --out BENCH_engine.json
     PYTHONPATH=src python scripts/bench_engine.py \
         --check benchmarks/BENCH_engine_baseline.json
+    PYTHONPATH=src python scripts/bench_engine.py --parallel 4 \
+        --check benchmarks/BENCH_engine_parallel_baseline.json
 
 ``--check`` exits non-zero when any fingerprint differs from the
-baseline (a determinism break) or when total wall-clock regresses by
-more than ``--threshold`` (default 25%) against the baseline.
+baseline (a determinism break), when total wall-clock regresses by more
+than ``--threshold`` (default 25%) against the baseline, or — for a
+parallel baseline on a machine with >= 4 cores — when fewer than two
+eligible multi-task scenarios reach the ``--speedup-min`` (default 2.0x)
+sequential-vs-parallel speedup.
 """
 
 import argparse
@@ -35,15 +55,25 @@ from repro.faults import run_chaos  # noqa: E402
 from repro.bench.scaleup import run_file_scaleup, run_pool_scaleup  # noqa: E402
 from repro.bench.sequential import run_sequential  # noqa: E402
 from repro.sim.bench import (  # noqa: E402
+    partitioned_reference,
     schedule_fingerprint,
     stripe_fanout_reference,
 )
+from repro.sim.parallel import map_tasks  # noqa: E402
 
 
 def _stable_hash(value):
     """Hash of a JSON-able value; stable across runs of the same schedule."""
     canonical = json.dumps(value, sort_keys=True)
     return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def _cores():
+    """Usable core count (the honest bound on parallel speedup)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def _calibrate():
@@ -66,12 +96,16 @@ def _calibrate():
     return best
 
 
-# -- scenarios ------------------------------------------------------------
+# -- scenario tasks -------------------------------------------------------
 #
-# Each scenario returns (fingerprint_hex, detail_dict). Wall-clock is
-# measured around the call by the driver.
+# Each task is a module-level callable returning plain JSON-able data
+# (the parallel mode ships them to forked pool workers). A scenario is a
+# named list of tasks plus a merge function folding the ordered task
+# results into (fingerprint_hex, detail_dict); merge order is the task
+# declaration order either way, which is what makes sequential and
+# parallel fingerprints identical by construction.
 
-def scenario_micro():
+def task_micro():
     """Pure-engine micro loops: every scheduling path, no storage stack."""
     detail = {}
     parts = []
@@ -83,16 +117,15 @@ def scenario_micro():
         digest, final = schedule_fingerprint(name, **kwargs)
         detail[name] = {"fingerprint": digest, "final_time": final}
         parts.append(digest)
-    return _stable_hash(parts), detail
+    return {"parts": parts, "detail": detail}
 
 
-def scenario_seqread():
+def task_seqread():
     """Fig. 9 sequential read, one Danaus pool pair (client_lock path)."""
-    rows = [run_sequential("D", 2, "read", duration=2.0, seed=1)]
-    return _stable_hash(rows), {"rows": rows}
+    return run_sequential("D", 2, "read", duration=2.0, seed=1)
 
 
-def scenario_chaos():
+def task_chaos():
     """Corruption chaos with scrub: the nightly-matrix cell shape."""
     result = run_chaos(
         seed=7, duration=6.0, replicas=2, bitrot=2, torn_writes=1,
@@ -101,7 +134,8 @@ def scenario_chaos():
     digest = hashlib.blake2b(
         repr(result.fingerprint()).encode(), digest_size=16
     ).hexdigest()
-    return digest, {
+    return {
+        "fingerprint": digest,
         "ok": result.ok,
         "corruptions": result.corruptions,
         "repairs": result.repairs,
@@ -109,11 +143,56 @@ def scenario_chaos():
     }
 
 
-def scenario_stripe_fanout():
-    """Parallel striped data path: 6-object read, serial vs fan-out."""
-    serial = stripe_fanout_reference(inflight=1)
-    fanout = stripe_fanout_reference(inflight=16)
-    repeat = stripe_fanout_reference(inflight=16)
+def task_partitioned():
+    """Coupled-partition PDES demo: the fingerprint must be identical
+    between the in-process coupler and one-OS-process-per-partition."""
+    seq_digest, _stats = partitioned_reference(parallel=False)
+    par_digest, stats = partitioned_reference(parallel=True)
+    return {
+        "fingerprint": seq_digest,
+        "modes_identical": seq_digest == par_digest,
+        "rounds": sum(row["rounds"] for row in stats),
+        "msgs": sum(row["msgs_in"] for row in stats),
+    }
+
+
+def task_stripe(inflight):
+    """One striped read-path cell, wide enough to be worth a process."""
+    return stripe_fanout_reference(inflight=inflight, num_osds=12,
+                                   objects=48)
+
+
+def task_file_scaleup(symbol, n_clones, seed=1):
+    """One Fig. 11 Fileappend scale-up cell (one simulated machine)."""
+    return run_file_scaleup(symbol, n_clones, "append", seed=seed)
+
+
+def task_pool_scaleup(n_pools, clones_per_pool):
+    """One multi-pool scale-up cell (one simulated machine)."""
+    return run_pool_scaleup("D", n_pools=n_pools,
+                            clones_per_pool=clones_per_pool, mode="append",
+                            seed=1)
+
+
+# -- merges ---------------------------------------------------------------
+
+def merge_micro(results):
+    (result,) = results
+    return _stable_hash(result["parts"]), result["detail"]
+
+
+def merge_rows(results):
+    rows = list(results)
+    return _stable_hash(rows), {"rows": rows}
+
+
+def merge_single(results):
+    (row,) = results
+    return _stable_hash(row), row
+
+
+def merge_stripe(results):
+    serial, fanout, repeat = results
     row = {
         "serial": serial,
         "fanout": fanout,
@@ -123,62 +202,108 @@ def scenario_stripe_fanout():
     return _stable_hash(row), row
 
 
-def scenario_scaleup():
-    """The reference scale-up sweep (Fig. 11 Fileappend, 8 clones)."""
-    rows = [
-        run_file_scaleup(symbol, 8, "append", seed=1)
-        for symbol in ("D", "K/K", "F/F", "FP/FP")
-    ]
-    return _stable_hash(rows), {"rows": rows}
-
-
-def scenario_scaleup_wide():
-    """One notch toward the paper's sweep: 8 pools / 16 containers."""
-    rows = [
-        run_pool_scaleup("D", n_pools=8, clones_per_pool=2, mode="append",
-                         seed=1),
-        run_file_scaleup("D", 16, "append", seed=1),
-    ]
-    return _stable_hash(rows), {"rows": rows}
-
-
+# Scenario table: (name, [(task_label, fn, kwargs), ...], merge).
+# Multi-task scenarios are the multi-host-shaped ones the parallel mode
+# fans out; single-task scenarios always run inline.
 SCENARIOS = [
-    ("micro", scenario_micro),
-    ("seqread", scenario_seqread),
-    ("stripe_fanout", scenario_stripe_fanout),
-    ("chaos", scenario_chaos),
-    ("scaleup", scenario_scaleup),
-    ("scaleup_wide", scenario_scaleup_wide),
+    ("micro", [("micro", task_micro, {})], merge_micro),
+    ("seqread", [("seqread", task_seqread, {})], merge_single),
+    ("partitioned", [("partitioned", task_partitioned, {})], merge_single),
+    ("stripe_fanout", [
+        ("serial", task_stripe, {"inflight": 1}),
+        ("fanout", task_stripe, {"inflight": 16}),
+        ("repeat", task_stripe, {"inflight": 16}),
+    ], merge_stripe),
+    ("chaos", [("chaos", task_chaos, {})], merge_single),
+    ("scaleup", [
+        (symbol, task_file_scaleup, {"symbol": symbol, "n_clones": 8})
+        for symbol in ("D", "K/K", "F/F", "FP/FP")
+    ], merge_rows),
+    ("fleet", [
+        ("host%d" % host, task_file_scaleup,
+         {"symbol": "D", "n_clones": 8, "seed": 1 + host})
+        for host in range(4)
+    ], merge_rows),
+    ("scaleup_wide", [
+        ("p8x2", task_pool_scaleup, {"n_pools": 8, "clones_per_pool": 2}),
+        ("p16x2", task_pool_scaleup, {"n_pools": 16, "clones_per_pool": 2}),
+        ("f32", task_file_scaleup, {"symbol": "D", "n_clones": 32}),
+    ], merge_rows),
 ]
 
 
-def run_bench(names=None):
+def run_bench(names=None, workers=1):
     record = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
+        "cores": _cores(),
+        "workers": workers,
         "calibration_s": round(_calibrate(), 5),
         "scenarios": {},
         "total_wall_s": 0.0,
     }
-    for name, fn in SCENARIOS:
+    env = {"python": record["python"], "cores": record["cores"]}
+    for name, tasks, merge in SCENARIOS:
         if names and name not in names:
             continue
         start = time.perf_counter()
-        fingerprint, detail = fn()
+        results, _rows = map_tasks(tasks, workers=1)
         wall = time.perf_counter() - start
-        record["scenarios"][name] = {
+        fingerprint, detail = merge(results)
+        cell = {
             "wall_s": round(wall, 4),
             "fingerprint": fingerprint,
+            "tasks": len(tasks),
             "detail": detail,
         }
+        cell.update(env)
+        if workers > 1 and len(tasks) > 1:
+            # Parallel pass over the same tasks: fan out over a fork
+            # pool (children inherit the warm memo caches of the
+            # sequential pass above), merge in task order, and demand
+            # the exact same fingerprint — the determinism contract.
+            start = time.perf_counter()
+            par_results, _rows = map_tasks(tasks, workers=workers)
+            par_wall = time.perf_counter() - start
+            par_fingerprint, _detail = merge(par_results)
+            if par_fingerprint != fingerprint:
+                print("FATAL: scenario %r parallel fingerprint %s != "
+                      "sequential %s" % (name, par_fingerprint, fingerprint),
+                      file=sys.stderr)
+                sys.exit(1)
+            cell["parallel"] = {
+                "workers": workers,
+                "wall_s": round(par_wall, 4),
+                "speedup": round(wall / par_wall, 3) if par_wall > 0 else 0.0,
+                "fingerprint_identical": True,
+            }
+        record["scenarios"][name] = cell
         record["total_wall_s"] = round(record["total_wall_s"] + wall, 4)
-        print("bench %-14s wall=%7.3fs fingerprint=%s"
-              % (name, wall, fingerprint), file=sys.stderr)
+        par = cell.get("parallel")
+        suffix = ""
+        if par:
+            suffix = "  parallel=%7.3fs speedup=%.2fx" % (
+                par["wall_s"], par["speedup"],
+            )
+        print("bench %-14s wall=%7.3fs fingerprint=%s%s"
+              % (name, wall, fingerprint, suffix), file=sys.stderr)
     return record
 
 
-def check_against(record, baseline, threshold):
-    """Compare a fresh record to a baseline; returns a list of failures."""
+def _python_minor(version):
+    return tuple(version.split(".")[:2]) if version else None
+
+
+def check_against(record, baseline, threshold, speedup_min=2.0):
+    """Compare a fresh record to a baseline; returns a list of failures.
+
+    Environment compatibility guards (satellite of the parallel-DES
+    work): a Python-minor mismatch skips every wall-clock comparison
+    (interpreter speed differences would drown the signal; fingerprints
+    are still compared), and a core-count mismatch skips only the
+    parallel/speedup comparisons (sequential walls stay comparable via
+    calibration normalization).
+    """
     failures = []
     for name, cell in baseline.get("scenarios", {}).items():
         fresh = record["scenarios"].get(name)
@@ -190,8 +315,17 @@ def check_against(record, baseline, threshold):
                 "determinism break in %r: fingerprint %s != baseline %s"
                 % (name, fresh["fingerprint"], cell["fingerprint"])
             )
+    python_match = (
+        _python_minor(record.get("python"))
+        == _python_minor(baseline.get("python"))
+    )
+    if not python_match:
+        print("note: python %s vs baseline %s — skipping wall-clock "
+              "comparison" % (record.get("python"), baseline.get("python")),
+              file=sys.stderr)
+    cores_match = record.get("cores") == baseline.get("cores")
     base_wall = baseline.get("total_wall_s") or 0.0
-    if base_wall > 0:
+    if python_match and base_wall > 0:
         fresh_wall = record["total_wall_s"]
         ratio = fresh_wall / base_wall
         base_cal = baseline.get("calibration_s") or 0.0
@@ -211,6 +345,40 @@ def check_against(record, baseline, threshold):
                 % (fresh_wall, base_wall,
                    (ratio - 1.0) * 100, threshold * 100)
             )
+    # Speedup gate for parallel baselines: enforced only on machines
+    # with enough cores for the target to be physically reachable.
+    baseline_parallel = (baseline.get("workers") or 1) > 1
+    if baseline_parallel:
+        if not cores_match:
+            print("note: cores %s vs baseline %s — parallel walls not "
+                  "compared" % (record.get("cores"), baseline.get("cores")),
+                  file=sys.stderr)
+        if (record.get("workers") or 1) <= 1:
+            failures.append(
+                "baseline is a parallel record (workers=%s) but this run "
+                "was sequential — rerun with --parallel"
+                % baseline.get("workers")
+            )
+        elif (record.get("cores") or 1) >= 4:
+            eligible = []
+            for name, cell in record["scenarios"].items():
+                par = cell.get("parallel")
+                if par and cell.get("tasks", 1) >= 3 \
+                        and cell["wall_s"] >= 0.2:
+                    eligible.append((name, par["speedup"]))
+            reached = [(n, s) for n, s in eligible if s >= speedup_min]
+            if len(reached) < 2:
+                failures.append(
+                    "parallel speedup gate: need >=2 multi-host scenarios "
+                    "at >=%.1fx, got %s"
+                    % (speedup_min,
+                       ", ".join("%s=%.2fx" % pair for pair in eligible)
+                       or "none")
+                )
+        else:
+            print("note: only %s core(s) available — %.1fx speedup gate "
+                  "skipped (needs >= 4 cores)"
+                  % (record.get("cores"), speedup_min), file=sys.stderr)
     return failures
 
 
@@ -224,11 +392,18 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed wall-clock regression vs baseline "
                              "(fraction, default 0.25)")
+    parser.add_argument("--speedup-min", type=float, default=2.0,
+                        help="required parallel speedup for the gate "
+                             "(default 2.0)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="also run each multi-task scenario with its "
+                             "tasks fanned over N worker processes; "
+                             "fingerprints must match the sequential pass")
     parser.add_argument("--scenario", action="append", default=None,
                         help="run only this scenario (repeatable)")
     args = parser.parse_args(argv)
 
-    record = run_bench(args.scenario)
+    record = run_bench(args.scenario, workers=args.parallel)
     payload = json.dumps(record, indent=2, sort_keys=True)
     if args.out:
         out_dir = os.path.dirname(args.out)
@@ -242,7 +417,8 @@ def main(argv=None):
     if args.check:
         with open(args.check) as handle:
             baseline = json.load(handle)
-        failures = check_against(record, baseline, args.threshold)
+        failures = check_against(record, baseline, args.threshold,
+                                 speedup_min=args.speedup_min)
         for failure in failures:
             print("FAIL: %s" % failure, file=sys.stderr)
         if failures:

@@ -12,7 +12,7 @@ from repro.bench.harness import Experiment, ExperimentResult
 from repro.bench.isolation import FlsColocation, run_colocation
 from repro.bench.registry import COMPOSITES, WORKLOADS, describe, workload_class
 from repro.bench.rocksdb_exp import RocksDbScaleout, RocksDbScaleup
-from repro.bench.scaleup import FileScaleup
+from repro.bench.scaleup import FileScaleup, PoolScaleup
 from repro.bench.sequential import SequentialScaleout
 from repro.bench.serverless_exp import ServerlessColocation
 from repro.bench.startup import LighttpdStartup
@@ -28,6 +28,7 @@ __all__ = [
     "SequentialScaleout",
     "FileserverScaleout",
     "FileScaleup",
+    "PoolScaleup",
     "ServerlessColocation",
     "CacheDedupAblation",
     "ClientLockAblation",

@@ -23,7 +23,8 @@ from repro.stacks import StackFactory
 from repro.workloads import Fileappend, Fileread
 from repro.world import World
 
-__all__ = ["FileScaleup", "run_file_scaleup", "run_pool_scaleup"]
+__all__ = ["FileScaleup", "PoolScaleup", "run_file_scaleup",
+           "run_pool_scaleup"]
 
 IMAGE_PATH = "/images/shared"
 SHARED_FILE = "/shared.bin"
@@ -148,4 +149,42 @@ class FileScaleup(Experiment):
                 result.add_row(
                     **run_file_scaleup(symbol, count, self.mode, **self.params)
                 )
+        return result
+
+
+class PoolScaleup(Experiment):
+    """§6.3-style two-axis scale-up with pool/container counts as sweep
+    axes — each cell is :func:`run_pool_scaleup` (N pools x M clones,
+    one stack instance per pool on a dedicated cpuset).
+
+    The wider cells (16 pools / 32 containers) are what the parallel
+    engine makes affordable: every cell is an independent world, so a
+    ``--parallel`` run fans cells' seeds across worker processes.
+    """
+
+    experiment_id = "scaleup-wide"
+    title = "Fileappend timespan and max memory, N pools x M clones"
+    paper_expectation = (
+        "timespan grows sublinearly with pool count (pools are "
+        "independent stacks on dedicated cpusets); per-pool memory "
+        "high-water stays flat as pools scale out."
+    )
+
+    def __init__(self, symbols=("D",), pool_counts=(8, 16),
+                 clones_per_pool_counts=(2,), mode="append", **params):
+        super().__init__(**params)
+        self.symbols = symbols
+        self.pool_counts = pool_counts
+        self.clones_per_pool_counts = clones_per_pool_counts
+        self.mode = mode
+
+    def run(self):
+        result = self.new_result()
+        for pools in self.pool_counts:
+            for clones in self.clones_per_pool_counts:
+                for symbol in self.symbols:
+                    result.add_row(**run_pool_scaleup(
+                        symbol, pools, clones, mode=self.mode,
+                        **self.params
+                    ))
         return result

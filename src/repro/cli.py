@@ -10,6 +10,7 @@ Usage::
     python -m repro run fig6a --trace wb,fuse      # record trace events
     python -m repro run fig6a --profile            # lock/CPU profiles
     python -m repro run fig6a --profile --report out.json
+    python -m repro run fig1 --parallel 4          # seeds across 4 cores
 
 Every runnable experiment is a committed spec file under
 ``experiments/`` (see ``docs/experiments.md``); ``run`` and ``list``
@@ -107,6 +108,12 @@ def cmd_run(args):
         print("try: python -m repro list", file=sys.stderr)
         return 2
     observing = args.profile or args.trace is not None
+    if args.parallel > 1 and observing:
+        # Observers attach inside forked workers and cannot come back;
+        # profile/trace runs must stay sequential.
+        print("--parallel cannot be combined with --profile/--trace",
+              file=sys.stderr)
+        return 2
     report = {"experiments": []} if args.report else None
     try:
         for name in names:
@@ -116,7 +123,9 @@ def cmd_run(args):
                 # attaches an observer with this spec.
                 obs.reset_attached()
                 obs.set_default(categories=_parse_trace_arg(args.trace))
-            result, record = run_spec(specs[name], quick=args.quick)
+            result, record = run_spec(
+                specs[name], quick=args.quick, parallel=args.parallel,
+            )
             print(result.report())
             chart = _chart_for(result)
             if chart:
@@ -124,6 +133,13 @@ def cmd_run(args):
             entry = record if report is not None else None
             if observing:
                 entry = _emit_profile(args, name, obs.attached(), entry)
+            if args.parallel > 1:
+                rows = (record.get("detail") or {}).get("partitions", [])
+                if rows:
+                    print()
+                    print("partitions (per-seed worker tasks, %d workers):"
+                          % args.parallel)
+                    print(obs.format_partitions_table(rows))
             if report is not None:
                 report["experiments"].append(entry)
             print("(%.0fs wall-clock)" % record["wall_s"])
@@ -174,6 +190,11 @@ def _emit_profile(args, name, observers, entry):
             print()
             print("adaptive locking (mode switches, final mode):")
             print(obs.format_locking_table(locking))
+        fabric = merged["fabric"]
+        if fabric:
+            print()
+            print("fabric edges (cross-machine RPCs per remote endpoint):")
+            print(obs.format_fabric_table(fabric))
     if args.trace is not None:
         print()
         print("trace summary:")
@@ -261,6 +282,13 @@ def main(argv=None):
         "--report", metavar="OUT.json", default=None,
         help="write unified run records (and profiles, when observing) "
              "as structured JSON",
+    )
+    run_parser.add_argument(
+        "--parallel", metavar="N", type=int, default=1,
+        help="run the spec's seeds as independent simulation tasks over "
+             "N worker processes (results merge in seed order, so rows "
+             "and fingerprints match the sequential run exactly); "
+             "incompatible with --profile/--trace",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -33,6 +33,7 @@ AXES = {
     "sequential_scaleout": ("symbol", "pools"),
     "fileserver_scaleout": ("symbol", "pools"),
     "file_scaleup": ("symbol", "clones"),
+    "pool_scaleup": ("symbol", "pools", "clones_per_pool"),
     "serverless": ("symbol",),
     "ablation_lock": (),
     "ablation_locking": (),
@@ -120,6 +121,18 @@ def _build_file_scaleup(axes, params):
     return FileScaleup(
         symbols=_axis(axes, "symbol", ("D", "K/K", "F/F", "FP/FP")),
         clone_counts=_axis(axes, "clones", (2, 8, 16)),
+        mode=params.pop("mode", "append"),
+        **params,
+    )
+
+
+def _build_pool_scaleup(axes, params):
+    from repro.bench import PoolScaleup
+
+    return PoolScaleup(
+        symbols=_axis(axes, "symbol", ("D",)),
+        pool_counts=_axis(axes, "pools", (8, 16)),
+        clones_per_pool_counts=_axis(axes, "clones_per_pool", (2,)),
         mode=params.pop("mode", "append"),
         **params,
     )
@@ -238,6 +251,7 @@ _BUILDERS = {
     "sequential_scaleout": _build_sequential_scaleout,
     "fileserver_scaleout": _build_fileserver_scaleout,
     "file_scaleup": _build_file_scaleup,
+    "pool_scaleup": _build_pool_scaleup,
     "serverless": _build_serverless,
     "ablation_lock": _build_ablation_lock,
     "ablation_locking": _build_ablation_locking,

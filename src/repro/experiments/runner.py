@@ -67,39 +67,64 @@ def check_slos(spec, result):
     return {"checked": len(spec["slo"]), "violations": violations}
 
 
-def run_spec(spec, quick=False):
+def _run_seed(spec, quick, seed):
+    """One seed's compiled run — module-level so the parallel slicer can
+    ship it to a forked worker."""
+    experiment = compile_spec(spec, quick=quick, seed=seed)
+    outcome = experiment.run()
+    return {
+        "id": experiment.experiment_id,
+        "title": experiment.title,
+        "expectation": experiment.paper_expectation,
+        "rows": [dict(row) for row in outcome.rows],
+        "notes": list(outcome.notes),
+        "detail": getattr(experiment, "detail", None),
+    }
+
+
+def run_spec(spec, quick=False, parallel=1):
     """Run one validated spec; returns ``(ExperimentResult, record)``.
 
     The result carries the merged rows/notes for printing; the record is
     the unified JSON artifact. Two calls with the same spec and seeds
     yield identical rows and fingerprints (wall-clock aside).
+
+    ``parallel`` > 1 runs the spec's seeds as independent simulation
+    tasks over that many worker processes (each seed's compiled run is a
+    self-contained world — the embarrassingly-parallel partition case).
+    Results merge in seed order, so rows and fingerprints are identical
+    to the sequential run; a single-seed spec just runs sequentially.
     """
     from repro.bench.harness import ExperimentResult
+    from repro.sim.parallel import map_tasks
 
     started = time.perf_counter()
     seeds = list(spec["seeds"])
     multi_seed = len(seeds) > 1
+    tasks = [
+        ("seed%d" % seed, _run_seed,
+         {"spec": spec, "quick": quick, "seed": seed})
+        for seed in seeds
+    ]
+    outcomes, task_rows = map_tasks(tasks, workers=parallel)
     merged = None
     details = {}
-    for seed in seeds:
-        experiment = compile_spec(spec, quick=quick, seed=seed)
+    for seed, outcome in zip(seeds, outcomes):
         if merged is None:
             merged = ExperimentResult(
-                experiment.experiment_id,
-                experiment.title,
-                experiment.paper_expectation,
+                outcome["id"], outcome["title"], outcome["expectation"],
             )
-        outcome = experiment.run()
-        for row in outcome.rows:
+        for row in outcome["rows"]:
             row = dict(row)
             if multi_seed:
                 row.setdefault("seed", seed)
             merged.add_row(**row)
-        for note in outcome.notes:
+        for note in outcome["notes"]:
             merged.note("seed %d: %s" % (seed, note) if multi_seed else note)
-        detail = getattr(experiment, "detail", None)
-        if detail:
-            details[str(seed)] = detail
+        if outcome["detail"]:
+            details[str(seed)] = outcome["detail"]
+    if parallel > 1:
+        details["partitions"] = task_rows
     slo = check_slos(spec, merged)
     for violation in slo["violations"]:
         merged.note("SLO: %s" % violation)

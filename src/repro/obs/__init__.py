@@ -20,9 +20,11 @@ from repro.obs.observer import Observer, Span, TraceEvent
 from repro.obs.profile import (
     format_core_steal,
     format_dispatch_table,
+    format_fabric_table,
     format_lock_table,
     format_locking_table,
     format_mds_table,
+    format_partitions_table,
     format_recovery_table,
     format_trace_summary,
 )
@@ -31,7 +33,8 @@ __all__ = [
     "Observer", "Span", "TraceEvent",
     "chrome_trace", "merge_profiles",
     "format_lock_table", "format_core_steal", "format_dispatch_table",
-    "format_locking_table", "format_mds_table", "format_recovery_table",
+    "format_fabric_table", "format_locking_table", "format_mds_table",
+    "format_partitions_table", "format_recovery_table",
     "format_trace_summary",
     "set_default", "clear_default", "default_spec",
     "attached", "reset_attached",

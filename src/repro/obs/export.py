@@ -100,6 +100,7 @@ def merge_profiles(observers):
     recovery_rows = []
     mds_rows = []
     locking_rows = []
+    fabric_rows = []
     trace_counts = {}
     for index, obs in enumerate(observers):
         tag = "w%d" % index
@@ -127,6 +128,10 @@ def merge_profiles(observers):
             row = dict(row)
             row["world"] = tag
             locking_rows.append(row)
+        for row in obs.fabric_profile():
+            row = dict(row)
+            row["world"] = tag
+            fabric_rows.append(row)
         for (cat, name), count in obs.summary():
             key = (cat, name)
             trace_counts[key] = trace_counts.get(key, 0) + count
@@ -139,6 +144,7 @@ def merge_profiles(observers):
         "recovery": recovery_rows,
         "mds": mds_rows,
         "locking": locking_rows,
+        "fabric": fabric_rows,
         "trace_summary": [
             {"category": cat, "name": name, "count": count}
             for (cat, name), count in sorted(

@@ -8,8 +8,10 @@ __all__ = [
     "format_lock_table",
     "format_core_steal",
     "format_dispatch_table",
+    "format_fabric_table",
     "format_locking_table",
     "format_mds_table",
+    "format_partitions_table",
     "format_recovery_table",
     "format_trace_summary",
 ]
@@ -174,6 +176,61 @@ def format_locking_table(rows):
             row["value"],
             "-" if high is None else high,
         ])
+    return _render(headers, body)
+
+
+def format_fabric_table(rows):
+    """Render per-edge RPC rows (dicts from ``Observer.fabric_profile``).
+
+    One row per remote endpoint of a labeled fabric round trip: RPC
+    count plus payload bytes in each direction — the traffic that
+    crosses partition boundaries in a sharded run.
+    """
+    if not rows:
+        return "(no labeled fabric RPCs)"
+    tagged = any("world" in row for row in rows)
+    headers = (["world"] if tagged else []) + [
+        "edge", "rpcs", "send_bytes", "recv_bytes",
+    ]
+    body = []
+    for row in rows:
+        body.append(([row.get("world", "-")] if tagged else []) + [
+            row["edge"],
+            row["rpcs"],
+            row["send_bytes"],
+            row["recv_bytes"],
+        ])
+    return _render(headers, body)
+
+
+def format_partitions_table(rows):
+    """Render per-partition sync rows from a parallel run.
+
+    One row per partition (or per independent machine task): executed
+    rounds/events, cross-partition messages in/out, null-message count,
+    blocked waits, and busy/wait wall seconds. ``map_tasks`` rows carry
+    per-task wall time and worker pid instead of sync counters.
+    """
+    if not rows:
+        return "(sequential run: no partitions)"
+    keys = []
+    for row in rows:
+        for key in row:
+            if key != "partition" and key not in keys:
+                keys.append(key)
+    headers = ["partition"] + keys
+    body = []
+    for row in rows:
+        line = [row["partition"]]
+        for key in keys:
+            value = row.get(key)
+            if value is None:
+                line.append("-")
+            elif isinstance(value, float):
+                line.append("%.4f" % value)
+            else:
+                line.append(value)
+        body.append(line)
     return _render(headers, body)
 
 

@@ -565,11 +565,12 @@ class CephCluster(object):
 
     def _plain_read(self, ino, index, obj_off, length):
         """One fast-path object read (healthy cluster, no retry race)."""
-        osd = self.osds[self._read_target(ino, index)]
+        osd_id = self._read_target(ino, index)
         return (yield from self.fabric.rpc(
-            osd.read(ino, index, obj_off, length),
+            self.osds[osd_id].read(ino, index, obj_off, length),
             send_bytes=0,
             recv_bytes=length,
+            edge="osd%d" % osd_id,
         ))
 
     def _resilient_read(self, ino, index, obj_off, length):
@@ -593,6 +594,7 @@ class CephCluster(object):
                                        epoch=epoch),
                 send_bytes=0,
                 recv_bytes=length,
+                edge="osd%d" % osd_id,
             )
             return osd_id, gen
 
@@ -633,6 +635,7 @@ class CephCluster(object):
                                        epoch=epoch),
                 send_bytes=0,
                 recv_bytes=length,
+                edge="osd%d" % osd_id,
             )
             return osd_id, gen
 
@@ -647,6 +650,7 @@ class CephCluster(object):
                     ),
                     send_bytes=0,
                     recv_bytes=64,
+                    edge="osd%d" % osd_id,
                 )
             except RETRYABLE as err:
                 # The OSD or fabric died mid-verification: the bytes in
@@ -775,6 +779,7 @@ class CephCluster(object):
             self.osds[osd_id].write(ino, index, obj_off, piece, epoch=epoch),
             send_bytes=len(piece),
             recv_bytes=0,
+            edge="osd%d" % osd_id,
         ))
 
     def _pull_before_write(self, ino, index, targets, spans):
@@ -920,6 +925,7 @@ class CephCluster(object):
             self.osds[osd_id].write_vector(ino, pieces, epoch=epoch),
             send_bytes=nbytes,
             recv_bytes=0,
+            edge="osd%d" % osd_id,
         ))
 
     def _resilient_write_vector(self, ino, index, pieces):
@@ -980,6 +986,7 @@ class CephCluster(object):
                         yield from self.fabric.rpc(
                             osd.truncate(ino, index, 0),
                             send_bytes=0, recv_bytes=0,
+                            edge="osd%d" % osd.osd_id,
                         )
                 elif index == keep_objects - 1 and size % object_size:
                     if dead:
@@ -989,6 +996,7 @@ class CephCluster(object):
                             osd.truncate(ino, index, size % object_size),
                             send_bytes=0,
                             recv_bytes=0,
+                            edge="osd%d" % osd.osd_id,
                         )
 
     def peek(self, ino, offset, size):
@@ -1110,7 +1118,8 @@ class CephCluster(object):
         else:
             op = getattr(self.mds, op_name)
             inner = self.fabric.rpc(
-                op(*args, **kwargs), send_bytes=256, recv_bytes=256
+                op(*args, **kwargs), send_bytes=256, recv_bytes=256,
+                edge="mds",
             )
         obs = self.sim.observer
         if obs is None:
@@ -1146,6 +1155,7 @@ class CephCluster(object):
         ``kwargs`` untouched.
         """
         service = self.mds_service
+        edge = "mds"
         if service is None:
             op = getattr(self._mds, op_name)
         delay = self.costs.retry_backoff
@@ -1164,9 +1174,11 @@ class CephCluster(object):
                 daemon = self._mds_target(op_name, args)
                 op = getattr(daemon, op_name)
                 kwargs["map_epoch"] = self._mdsmap.epoch
+                edge = "mds.%d" % daemon.gid
             try:
                 return (yield from self.fabric.rpc(
-                    op(*args, **kwargs), send_bytes=256, recv_bytes=256
+                    op(*args, **kwargs), send_bytes=256, recv_bytes=256,
+                    edge=edge,
                 ))
             except OldEpoch as err:
                 self.metrics.counter("mds_stale_map_rejects").add(1)

@@ -496,6 +496,7 @@ class Monitor(object):
             yield from self.cluster.fabric.rpc(
                 target.write(ino, index, 0, data),
                 send_bytes=len(data), recv_bytes=0,
+                edge="osd%d" % target.osd_id,
             )
             moved += len(data)
             if source.object_version(ino, index) != version:

@@ -1,0 +1,314 @@
+"""The partitioned parallel DES: protocol, determinism, decomposition.
+
+Three layers under test:
+
+* the cross-partition channel endpoints (``net.fabric``): delivery
+  stamping, the conservative channel bound, deterministic drain order;
+* the conservative runtime (``sim.parallel``): the in-process coupler
+  and the one-OS-process-per-partition executor must produce
+  **byte-identical** results on every workload — that equivalence is
+  the whole correctness contract of the tentpole;
+* the decomposition plumbing: ``World.partition_plan`` and the stack
+  factory's partition tag, plus ``map_tasks`` for the independent
+  per-machine case.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.net.fabric import ChannelIn, ChannelOut, CrossChannel, Fabric
+from repro.sim import Simulator
+from repro.sim.bench import partitioned_reference
+from repro.sim.parallel import (
+    Partition,
+    map_tasks,
+    run_processes,
+    run_sequential,
+)
+
+
+# -- engine hooks ---------------------------------------------------------
+
+class TestEngineHooks:
+    def test_peek_next_time_empty(self):
+        assert Simulator().peek_next_time() is None
+
+    def test_peek_next_time_sees_heap_and_now_queue(self):
+        sim = Simulator()
+        sim.schedule_external(0.5, lambda _p: None)
+        assert sim.peek_next_time() == 0.5
+        sim.schedule_external(0.0, lambda _p: None)  # now-queue entry
+        assert sim.peek_next_time() == 0.0
+
+    def test_schedule_external_runs_handler_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_external(0.25, seen.append, "payload")
+        sim.run()
+        assert seen == ["payload"]
+        assert sim.now == 0.25
+
+    def test_schedule_external_rejects_past(self):
+        sim = Simulator()
+        sim.schedule_external(0.1, lambda _p: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_external(0.05, lambda _p: None)
+
+
+# -- channel endpoints ----------------------------------------------------
+
+class TestChannels:
+    def test_zero_lookahead_rejected(self):
+        with pytest.raises(ConfigError):
+            CrossChannel("c", "a", "b", 0.0)
+
+    def test_fabric_exports_lookahead_and_channels(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        channel = fabric.channel("x", "a", "b")
+        assert channel.latency == fabric.lookahead() > 0
+
+    def test_send_stamps_delivery_and_seq(self):
+        sim = Simulator()
+        out = ChannelOut(sim, CrossChannel("c", "a", "b", 0.001))
+        assert out.send("m1") == pytest.approx(0.001)
+        out.send("m2", nbytes=100)
+        msgs = out.flush()
+        assert [(seq, p) for _t, seq, p in msgs] == [(1, "m1"), (2, "m2")]
+        assert out.flush() == []
+        assert out.sent == 2 and out.sent_bytes == 100
+
+    def test_push_raises_bound_and_drain_orders(self):
+        sim = Simulator()
+        spec = CrossChannel("c", "a", "b", 0.001)
+        seen = []
+        cin = ChannelIn(sim, spec, seen.append)
+        assert cin.bound == pytest.approx(0.001)  # peer clock 0 + la
+        # Push out of order; drain must inject in (deliver_at, seq).
+        cin.push(0.005, 2, "late")
+        cin.push(0.003, 1, "early")
+        assert cin.earliest() == pytest.approx(0.003)
+        assert cin.bound == pytest.approx(0.005)  # a message is a promise
+        assert cin.drain_until(0.004) == 1
+        sim.run()
+        cin.drain_until(0.005)
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_null_promise_raises_bound(self):
+        sim = Simulator()
+        cin = ChannelIn(sim, CrossChannel("c", "a", "b", 0.001), lambda _p: None)
+        cin.promise(0.01)
+        assert cin.bound == pytest.approx(0.011)
+        cin.promise(0.005)  # promises never lower the bound
+        assert cin.bound == pytest.approx(0.011)
+
+
+# -- coupled partitions ---------------------------------------------------
+
+def _pingpong_partitions(count=10, lookahead=0.0005):
+    """Two partitions bouncing a counter; returns (partitions, channels)."""
+    def make_build(tag):
+        def build(sim, ports):
+            log = []
+            out = ports.out("a2b" if tag == "a" else "b2a")
+
+            def on_msg(payload):
+                log.append((sim.now, payload))
+                if payload < count:
+                    out.send(payload + 1)
+
+            ports.on("b2a" if tag == "a" else "a2b", on_msg)
+            if tag == "a":
+                def kick():
+                    yield sim.timeout(0.001)
+                    out.send(0)
+                sim.spawn(kick())
+            return lambda: log
+        return build
+
+    channels = [CrossChannel("a2b", "a", "b", lookahead),
+                CrossChannel("b2a", "b", "a", lookahead)]
+    partitions = [Partition("a", make_build("a")),
+                  Partition("b", make_build("b"))]
+    return partitions, channels
+
+
+class TestCoupledProtocol:
+    def test_sequential_coupler_delivers_in_order(self):
+        partitions, channels = _pingpong_partitions(count=6)
+        results, stats = run_sequential(partitions, channels)
+        a_log, b_log = results["a"], results["b"]
+        # b sees 0,2,4,6; a sees the odd replies.
+        assert [p for _t, p in b_log] == [0, 2, 4, 6]
+        assert [p for _t, p in a_log] == [1, 3, 5]
+        assert all(row["msgs_in"] + row["msgs_out"] > 0 for row in stats)
+
+    def test_small_lookahead_does_not_livelock(self):
+        # 1us lookahead against millisecond event gaps: without the
+        # global floor this needs ~1000 null rounds per hop; with it the
+        # coupler jumps straight to the next global event.
+        partitions, channels = _pingpong_partitions(
+            count=4, lookahead=1e-6,
+        )
+        results, stats = run_sequential(partitions, channels)
+        assert [p for _t, p in results["b"]] == [0, 2, 4]
+        total_rounds = sum(row["rounds"] for row in stats)
+        assert total_rounds < 50
+
+    def test_processes_match_sequential_exactly(self):
+        partitions, channels = _pingpong_partitions(count=10)
+        seq_results, _ = run_sequential(partitions, channels)
+        partitions2, _ = _pingpong_partitions(count=10)
+        proc_results, proc_stats = run_processes(partitions2, channels)
+        assert proc_results == seq_results
+        assert {row["partition"] for row in proc_stats} == {"a", "b"}
+
+    def test_validation_rejects_bad_topologies(self):
+        def build(sim, ports):
+            return None
+
+        with pytest.raises(ConfigError):
+            run_sequential([Partition("a", build), Partition("a", build)])
+        with pytest.raises(ConfigError):
+            run_sequential(
+                [Partition("a", build)],
+                [CrossChannel("c", "a", "ghost", 0.001)],
+            )
+        with pytest.raises(ConfigError):
+            run_sequential(
+                [Partition("a", build)],
+                [CrossChannel("c", "a", "a", 0.001)],
+            )
+
+    def test_unhandled_in_channel_rejected(self):
+        def build(sim, ports):
+            return None  # never calls ports.on("c")
+
+        def sender(sim, ports):
+            return None
+
+        with pytest.raises(ConfigError):
+            run_sequential(
+                [Partition("a", sender), Partition("b", build)],
+                [CrossChannel("c", "a", "b", 0.001)],
+            )
+
+
+class TestPartitionedReference:
+    def test_fingerprint_identical_across_modes(self):
+        seq_digest, seq_stats = partitioned_reference(parallel=False)
+        proc_digest, proc_stats = partitioned_reference(parallel=True)
+        assert seq_digest == proc_digest
+        # Same simulated work in both modes, round for round.
+        key = lambda rows: sorted(
+            (r["partition"], r["rounds"], r["msgs_in"], r["msgs_out"])
+            for r in rows
+        )
+        assert key(seq_stats) == key(proc_stats)
+
+    def test_fingerprint_stable_across_repeats(self):
+        first, _ = partitioned_reference(parallel=True)
+        second, _ = partitioned_reference(parallel=True)
+        assert first == second
+
+    def test_more_hosts_still_identical(self):
+        seq_digest, _ = partitioned_reference(hosts=3, requests=8,
+                                              parallel=False)
+        proc_digest, _ = partitioned_reference(hosts=3, requests=8,
+                                               parallel=True)
+        assert seq_digest == proc_digest
+
+
+# -- independent machine tasks --------------------------------------------
+
+def _square_task(value):
+    return value * value
+
+
+def _sim_task(seed):
+    """A small real simulation per task (one machine's worth of work)."""
+    sim = Simulator()
+    log = []
+
+    def proc(tag):
+        for step in range(5):
+            yield sim.timeout(0.001 * ((seed + tag + step) % 7 + 1))
+            log.append((tag, step, sim.now))
+
+    for tag in range(3):
+        sim.spawn(proc(tag))
+    sim.run()
+    return log
+
+
+class TestMapTasks:
+    def test_inline_preserves_order(self):
+        values, rows = map_tasks(
+            [("t%d" % i, _square_task, {"value": i}) for i in range(5)],
+            workers=1,
+        )
+        assert values == [0, 1, 4, 9, 16]
+        assert [row["partition"] for row in rows] == \
+            ["t%d" % i for i in range(5)]
+        assert all(row["mode"] == "inline" for row in rows)
+
+    def test_fork_matches_inline(self):
+        tasks = [("s%d" % seed, _sim_task, {"seed": seed})
+                 for seed in range(6)]
+        inline_values, _ = map_tasks(tasks, workers=1)
+        fork_values, rows = map_tasks(tasks, workers=3)
+        assert fork_values == inline_values
+        assert all(row["mode"] == "fork" for row in rows)
+
+    def test_single_task_runs_inline_even_with_workers(self):
+        values, rows = map_tasks(
+            [("only", _square_task, {"value": 7})], workers=4,
+        )
+        assert values == [49]
+        assert rows[0]["mode"] == "inline"
+
+
+# -- topology decomposition -----------------------------------------------
+
+class TestPartitionPlan:
+    def test_world_plan_shape(self):
+        from repro.world import World
+
+        world = World()
+        world.add_host("h1")
+        plan = world.partition_plan()
+        assert set(plan["partitions"]) == {
+            "cluster", "host:client", "host:h1",
+        }
+        assert plan["lookahead"] == world.fabric.lookahead() > 0
+        names = {ch.name: (ch.src, ch.dst) for ch in plan["channels"]}
+        assert names["host:client->cluster"] == ("host:client", "cluster")
+        assert names["cluster->host:h1"] == ("cluster", "host:h1")
+        # Cluster members cover every OSD plus the MDS.
+        members = plan["partitions"]["cluster"]
+        assert "mds" in members
+        assert len([m for m in members if m.startswith("osd")]) == \
+            len(world.cluster.osds)
+
+    def test_factory_inherits_pool_partition(self):
+        from repro.common import units
+        from repro.stacks import StackFactory
+        from repro.world import World
+
+        world = World()
+        other = world.add_host("h1")
+        pool = world.engine.create_pool(
+            "p0", num_cores=2, ram_bytes=units.gib(4),
+        )
+        factory = StackFactory(world, pool, "D")
+        assert factory.partition == "host:client"
+        pool2 = other.engine.create_pool(
+            "p1", num_cores=2, ram_bytes=units.gib(4),
+        )
+        factory2 = StackFactory(world, pool2, "D")
+        assert factory2.partition == "host:h1"
+
+    def test_simulator_partition_defaults_to_none(self):
+        assert Simulator().partition is None
